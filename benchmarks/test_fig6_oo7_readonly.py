@@ -1,0 +1,50 @@
+"""Figure 6 — OO7 cold read-only traversals: Thor vs BASE-Thor.
+
+Paper: BASE-Thor takes +39% on T1 (full composite-graph DFS) and +29% on
+T6 (root atomic parts only); the commit bar is a small fraction of both;
+T6's overhead is *lower* because its page reads have less locality, so
+disk time dilutes the protocol overhead.
+"""
+
+from benchmarks.conftest import oo7, run_once
+from repro.harness.report import assert_shape, format_table, overhead_pct
+
+TRAVERSALS = ("T1", "T6", "T2a", "T2b")
+PAPER_PCT = {"T1": 39, "T6": 29}
+
+
+def test_fig6_oo7_readonly(benchmark):
+    base = run_once(benchmark, lambda: oo7("base", TRAVERSALS))
+    std = oo7("std", TRAVERSALS)
+
+    rows = []
+    for name in ("T1", "T6"):
+        s, b = std.results[name], base.results[name]
+        pct = overhead_pct(b.total, s.total)
+        rows.append((name, f"{s.traversal_seconds:.3f}",
+                     f"{s.commit_seconds:.3f}", f"{b.traversal_seconds:.3f}",
+                     f"{b.commit_seconds:.3f}", f"+{pct:.0f}%",
+                     f"+{PAPER_PCT[name]}%"))
+    print()
+    print(format_table(
+        "Figure 6: OO7 cold read-only traversals (seconds, simulated)",
+        ["traversal", "Thor trav", "Thor commit", "BASE trav",
+         "BASE commit", "overhead", "paper"], rows,
+        note="Scaled-down medium database (100 composites x 50 atomic "
+             "parts); cold client and server caches per traversal."))
+
+    t1_pct = overhead_pct(base.results["T1"].total, std.results["T1"].total)
+    t6_pct = overhead_pct(base.results["T6"].total, std.results["T6"].total)
+    assert_shape("OO7 T1", t1_pct, 20, 60)
+    assert_shape("OO7 T6", t6_pct, 15, 50)
+    # T6 pays less than T1 (less locality -> disk dilutes the protocol).
+    assert t6_pct < t1_pct
+    # Commit time is a small fraction of read-only traversals.
+    for name in ("T1", "T6"):
+        for run in (std, base):
+            r = run.results[name]
+            assert r.commit_seconds < 0.15 * r.total
+    # T6 touches far fewer objects/pages than T1.
+    assert base.results["T6"].atomic_visits < \
+        0.25 * base.results["T1"].atomic_visits
+    assert base.results["T6"].fetches < base.results["T1"].fetches

@@ -1,0 +1,98 @@
+"""Protocol micro-benchmarks in the style of the BFT evaluation the paper
+leans on (Castro 2000; Castro & Liskov 2002): operation latency for the
+0/0, 4K/0 and 0/4K argument/result combinations, read-write vs read-only.
+
+The published BFS/BFT micro-benchmarks report roughly:
+
+- null ops (0/0) cost two round trips read-write, one read-only;
+- 4 KB arguments raise read-write latency (the request rides to the
+  primary and again inside the pre-prepare);
+- 4 KB results are cheap with the digest-replies optimization (one
+  replica sends the payload).
+"""
+
+from repro.bft.config import BftConfig
+from repro.bft.statemachine import InMemoryStateManager
+from repro.harness import costs as C
+from repro.harness.cluster import build_cluster
+from repro.harness.report import format_table
+from repro.workloads.microbench import sequential_ops
+
+
+def make_cluster(**cfg):
+    defaults = dict(n=4, checkpoint_interval=64)
+    defaults.update(cfg)
+    return build_cluster(lambda i: InMemoryStateManager(size=16),
+                         config=BftConfig(**defaults),
+                         network_config=C.lan_network(),
+                         costs=C.PROTOCOL_COSTS)
+
+
+def measure(payload: bytes, read_only: bool, preload: bytes = b""):
+    cluster = make_cluster()
+    client = cluster.add_client("lat")
+    if preload:
+        client.call(InMemoryStateManager.op_put(0, preload))
+    op = (InMemoryStateManager.op_get(0) if read_only
+          else InMemoryStateManager.op_put(0, payload))
+    # Warm, then measure 30 back-to-back ops.
+    client.call(op, read_only=read_only)
+    start = cluster.scheduler.now
+    for _ in range(30):
+        client.call(op, read_only=read_only)
+    return (cluster.scheduler.now - start) / 30
+
+
+def test_microbench_latency_table(benchmark):
+    def run():
+        return {
+            ("0/0", "read-write"): measure(b"", False),
+            ("0/0", "read-only"): measure(b"", True),
+            ("4K/0", "read-write"): measure(b"x" * 4096, False),
+            ("0/4K", "read-only"): measure(b"", True, preload=b"r" * 4096),
+            ("0/4K", "read-write gets 4K reply"): measure(
+                b"", False, preload=b"r" * 4096),
+        }
+    lat = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [(k[0], k[1], f"{v * 1e6:.0f}") for k, v in lat.items()]
+    print()
+    print(format_table(
+        "Micro-benchmark: operation latency (microseconds, simulated)",
+        ["arg/result", "mode", "latency (us)"], rows))
+
+    # Read-only is the cheap path.
+    assert lat[("0/0", "read-only")] < lat[("0/0", "read-write")]
+    # 4KB arguments cost noticeably more than null read-write ops (the
+    # payload crosses the wire twice on the ordered path).
+    assert lat[("4K/0", "read-write")] > 1.3 * lat[("0/0", "read-write")]
+    # 4KB results are cheaper than 4KB arguments (digest replies: only
+    # the designated replica ships the payload, and only once).
+    assert lat[("0/4K", "read-write gets 4K reply")] < \
+        lat[("4K/0", "read-write")]
+
+
+def test_microbench_throughput_scales_with_batching(benchmark):
+    from repro.workloads.microbench import concurrent_ops
+
+    def run():
+        results = {}
+        for clients in (1, 4, 10):
+            cluster = make_cluster(batch_max=16)
+            results[clients] = concurrent_ops(cluster, clients=clients,
+                                              per_client=10,
+                                              label=f"c{clients}")
+        return results
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [(n, f"{r.throughput:.0f}", r.messages)
+            for n, r in results.items()]
+    print()
+    print(format_table("Micro-benchmark: throughput vs concurrent clients",
+                       ["clients", "ops/s", "messages"], rows))
+    # Batching lets throughput grow with offered load.
+    assert results[10].throughput > 2 * results[1].throughput
+    # Messages per op fall as batches grow.
+    per_op_1 = results[1].messages / results[1].operations
+    per_op_10 = results[10].messages / results[10].operations
+    assert per_op_10 < 0.6 * per_op_1

@@ -1,0 +1,20 @@
+"""Reproduction of "BASE: Using Abstraction to Improve Fault Tolerance"
+(Castro, Rodrigues, Liskov; SOSP 2001 / ACM TOCS 2003).
+
+Subpackages:
+
+- :mod:`repro.sim` — deterministic discrete-event simulation kernel;
+- :mod:`repro.crypto` — digests, MAC authenticators, signatures, key refresh;
+- :mod:`repro.encoding` — XDR and canonical tuple encodings;
+- :mod:`repro.bft` — the BFT state-machine-replication protocol;
+- :mod:`repro.base` — the BASE library (the paper's contribution);
+- :mod:`repro.nfs` — BASEFS: the replicated file service example (§3.1);
+- :mod:`repro.thor` — BASE-Thor: the replicated object database (§3.2);
+- :mod:`repro.sql` — BASE-SQL: the relational service of §6's future work;
+- :mod:`repro.workloads` — Andrew, OO7, and protocol micro-benchmarks;
+- :mod:`repro.harness` — experiment configuration and reporting.
+
+See README.md for a guided tour and DESIGN.md for the design rationale.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,67 @@
+"""Agreement on nondeterministic values (paper §2.3, "Non-determinism").
+
+The canonical case is the clock: NFS sets time-last-modified from the
+server's local clock, and replicas reading their own clocks would
+diverge.  BASE has the primary *propose* the value; every replica
+*checks* it (close to its own clock, monotonically increasing) before
+accepting the pre-prepare, so a faulty primary can neither diverge the
+replicas nor, e.g., freeze time to defeat client cache invalidation.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Sequence
+
+
+class ClockValue:
+    """Encode/decode a clock reading as the nondet payload (microseconds)."""
+
+    @staticmethod
+    def encode(seconds: float) -> bytes:
+        return struct.pack(">q", int(seconds * 1_000_000))
+
+    @staticmethod
+    def decode(payload: bytes) -> float:
+        if len(payload) != 8:
+            raise ValueError(f"bad clock payload of {len(payload)} bytes")
+        return struct.unpack(">q", payload)[0] / 1_000_000
+
+
+class TimestampAgreement:
+    """Reusable propose/check pair for timestamp nondeterminism.
+
+    ``clock`` returns this replica's local clock reading (simulated time
+    plus any per-replica skew).  ``delta`` is the tolerated divergence
+    between the primary's proposal and the checker's clock — we rely on
+    loosely synchronized clocks (e.g. NTP) for liveness, never for safety.
+    """
+
+    def __init__(self, clock: Callable[[], float], delta: float = 0.5):
+        self.clock = clock
+        self.delta = delta
+        self._last_accepted = -float("inf")
+
+    def propose(self) -> bytes:
+        # Monotonicity at the proposer too: never propose backwards.
+        now = max(self.clock(), self._last_accepted + 1e-6)
+        return ClockValue.encode(now)
+
+    def check(self, nondet: bytes) -> bool:
+        """Accept iff within delta of our clock and strictly increasing."""
+        try:
+            proposed = ClockValue.decode(nondet)
+        except (ValueError, struct.error):
+            return False
+        if abs(proposed - self.clock()) > self.delta:
+            return False
+        if proposed <= self._last_accepted:
+            return False
+        return True
+
+    def accept(self, nondet: bytes) -> float:
+        """Record an agreed value (called when the batch executes) and
+        return it as seconds."""
+        value = ClockValue.decode(nondet)
+        self._last_accepted = max(self._last_accepted, value)
+        return value

@@ -1,0 +1,26 @@
+"""BFT: practical Byzantine fault tolerance (Castro & Liskov).
+
+A faithful reimplementation of the BFT state-machine-replication library
+that BASE extends: three-phase atomic multicast (pre-prepare / prepare /
+commit) with MAC authenticators, request batching, the read-only
+optimization, incremental checkpointing with garbage collection, view
+changes, hierarchical state transfer, and proactive recovery.
+
+The replica delegates all service-state concerns to a
+:class:`~repro.bft.statemachine.StateManager`; the BASE layer
+(:mod:`repro.base`) provides the abstraction-aware implementation.
+"""
+
+from repro.bft.config import BftConfig
+from repro.bft.client import BftClient, SyncClient
+from repro.bft.replica import Replica
+from repro.bft.statemachine import InMemoryStateManager, StateManager
+
+__all__ = [
+    "BftConfig",
+    "BftClient",
+    "SyncClient",
+    "Replica",
+    "StateManager",
+    "InMemoryStateManager",
+]

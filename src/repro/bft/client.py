@@ -1,0 +1,200 @@
+"""BFT client: invoke operations and vote on replies.
+
+The client sends a request to the primary; if it does not accept a result
+within the retry timeout it multicasts to all replicas (whose relays and
+timers eventually force a view change if the primary is faulty).  A
+result is accepted once f+1 replicas vouch for the same result digest —
+at least one of them is correct — and the full result bytes arrived from
+at least one of them.  Read-only requests go straight to all replicas and
+need 2f+1 matching *tentative* replies; if that quorum does not show up
+(e.g. concurrent writes or faults), the client falls back to the ordered
+path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Set
+
+from repro.bft.config import BftConfig
+from repro.bft.costs import CostModel, ZERO_COSTS
+from repro.bft.messages import Reply, Request
+from repro.crypto.keys import KeyRegistry
+from repro.crypto.mac import Authenticator, verify_mac
+from repro.sim.network import Network
+from repro.sim.node import Node
+from repro.sim.tracing import Tracer
+
+
+@dataclass
+class _PendingCall:
+    request: Request
+    callback: Callable[[bytes], None]
+    read_only: bool
+    # result_digest -> set of replica ids vouching for it
+    votes: Dict[bytes, Set[str]] = field(default_factory=dict)
+    results: Dict[bytes, bytes] = field(default_factory=dict)
+    tentative_votes: Dict[bytes, Set[str]] = field(default_factory=dict)
+    retries: int = 0
+    nudged: bool = False  # fast retransmit for a missing full result
+
+
+class BftClient(Node):
+    """Protocol client; use :class:`SyncClient` for imperative call style."""
+
+    def __init__(self, client_id: str, network: Network, config: BftConfig,
+                 registry: KeyRegistry, tracer: Optional[Tracer] = None,
+                 costs: CostModel = ZERO_COSTS):
+        super().__init__(client_id, network)
+        self.config = config
+        self.registry = registry
+        self.tracer = tracer or Tracer(keep_events=False)
+        self.costs = costs
+        registry.enroll(client_id)
+        self.view_estimate = 0
+        self._next_request_id = 0
+        self._pending: Optional[_PendingCall] = None
+        self._retry_timer = self.make_timer(config.client_retry_timeout,
+                                            self._on_retry)
+        self.requests_sent = 0
+        self.retransmissions = 0
+
+    @property
+    def busy(self) -> bool:
+        return self._pending is not None
+
+    # -- issuing requests ----------------------------------------------------------
+
+    def invoke(self, op: bytes, callback: Callable[[bytes], None],
+               read_only: bool = False) -> int:
+        """Issue one operation; ``callback(result)`` fires on acceptance.
+
+        One outstanding operation per client, as in BFT.  Returns the
+        request id.
+        """
+        if self._pending is not None:
+            raise RuntimeError(f"client {self.node_id} already has an "
+                               f"outstanding request")
+        self._next_request_id += 1
+        request = Request(self.node_id, self._next_request_id, op,
+                          read_only=read_only and
+                          self.config.read_only_optimization)
+        self._pending = _PendingCall(request, callback, request.read_only)
+        self.requests_sent += 1
+        self._transmit(first=True)
+        self._retry_timer.restart(self.config.client_retry_timeout)
+        return self._next_request_id
+
+    def _transmit(self, first: bool) -> None:
+        call = self._pending
+        request = call.request
+        request.auth = Authenticator.create(
+            self.registry, self.node_id, self.config.replica_ids,
+            request.body())
+        self.charge(self.costs.macs(len(self.config.replica_ids)))
+        if call.read_only or not first:
+            self.multicast(self.config.replica_ids, request)
+        else:
+            self.send(self.config.primary_of(self.view_estimate), request)
+
+    def _on_retry(self) -> None:
+        call = self._pending
+        if call is None:
+            return
+        call.retries += 1
+        self.retransmissions += 1
+        if call.read_only and call.retries >= 2:
+            # Fall back to the ordered path: reissue as a normal request
+            # under the same request id.
+            call.read_only = False
+            call.request = Request(self.node_id, call.request.request_id,
+                                   call.request.op, read_only=False)
+            call.votes.clear()
+            call.results.clear()
+            call.tentative_votes.clear()
+        self._transmit(first=False)
+        timeout = self.config.client_retry_timeout * min(2 ** call.retries, 16)
+        self._retry_timer.restart(timeout)
+
+    # -- accepting replies --------------------------------------------------------------
+
+    def handle_reply(self, src, reply: Reply) -> None:
+        call = self._pending
+        if call is None or reply.request_id != call.request.request_id:
+            return
+        if src != reply.replica_id or src not in self.config.replica_ids:
+            return
+        if reply.auth is not None:
+            self.charge(self.costs.macs(1))
+            if not reply.auth.verify(self.registry, self.node_id,
+                                     reply.body()):
+                return
+        if reply.result is not None:
+            from repro.crypto.digest import digest
+            if digest(reply.result) != reply.result_digest:
+                return
+            call.results[reply.result_digest] = reply.result
+        self.view_estimate = max(self.view_estimate, reply.view)
+        votes = call.tentative_votes if reply.tentative else call.votes
+        votes.setdefault(reply.result_digest, set()).add(src)
+        self._check_accept()
+
+    def _check_accept(self) -> None:
+        call = self._pending
+        # Ordered replies: f+1 matching.
+        for rdigest, voters in call.votes.items():
+            if len(voters) < self.config.weak_quorum:
+                continue
+            if rdigest in call.results:
+                self._accept(call.results[rdigest])
+                return
+            # Result certified by f+1 digests but the designated replica
+            # never sent the full bytes (it may be rebooting): retransmit
+            # immediately — replicas resend cached replies in full.
+            if not call.nudged:
+                call.nudged = True
+                self._on_retry()
+                return
+        # Tentative replies (read-only optimization): 2f+1 matching.
+        for rdigest, voters in call.tentative_votes.items():
+            if len(voters) >= self.config.quorum and rdigest in call.results:
+                self._accept(call.results[rdigest])
+                return
+
+    def _accept(self, result: bytes) -> None:
+        call = self._pending
+        self._pending = None
+        self._retry_timer.stop()
+        self.tracer.emit(self.now, self.node_id, "result_accepted",
+                         request_id=call.request.request_id)
+        call.callback(result)
+
+
+class SyncClient:
+    """Imperative wrapper: ``call()`` drives the scheduler to completion.
+
+    Lets workload code (Andrew, OO7) be written as straight-line Python
+    while the whole replicated system advances underneath each call.
+    """
+
+    def __init__(self, client: BftClient, max_events_per_call: int = 5_000_000):
+        self.client = client
+        self.scheduler = client.scheduler
+        self.max_events = max_events_per_call
+
+    def call(self, op: bytes, read_only: bool = False) -> bytes:
+        box: dict = {}
+        self.client.invoke(op, lambda result: box.update(result=result),
+                           read_only=read_only)
+        done = self.scheduler.run_until_idle_or(lambda: "result" in box,
+                                                self.max_events)
+        if not done:
+            raise TimeoutError(
+                f"client {self.client.node_id}: no result for request "
+                f"{self.client._next_request_id} (queue drained or event "
+                f"budget exhausted)")
+        return box["result"]
+
+    @property
+    def now(self) -> float:
+        return self.scheduler.now

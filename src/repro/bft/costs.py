@@ -1,0 +1,31 @@
+"""CPU cost model hooks for protocol nodes.
+
+Protocol correctness never depends on these: with the default (all-zero)
+model the simulation runs in pure event time.  The benchmark harness
+installs calibrated models (see :mod:`repro.harness.costs`) so that MAC
+computation, digesting, service execution, and disk activity consume
+simulated CPU time, serialized per node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class CostModel:
+    """Per-operation CPU charges, in simulated seconds."""
+
+    mac: float = 0.0               # generate or verify one MAC
+    signature: float = 0.0         # generate or verify one signature
+    digest_fixed: float = 0.0      # fixed cost of one digest
+    digest_per_byte: float = 0.0   # plus per byte digested
+
+    def macs(self, n: int = 1) -> float:
+        return self.mac * n
+
+    def digest(self, nbytes: int) -> float:
+        return self.digest_fixed + self.digest_per_byte * nbytes
+
+
+ZERO_COSTS = CostModel()

@@ -1,0 +1,75 @@
+"""Byzantine behavior hooks for fault-injection testing.
+
+A replica with a :class:`Behavior` attached consults it at well-defined
+points.  The canned behaviors below cover the failure modes the BFT/BASE
+safety arguments must survive; tests combine them with network faults.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class Behavior:
+    """Default behavior: honest.  Subclasses override hooks to misbehave."""
+
+    def rewrite_outgoing(self, msg, dst) -> Optional[object]:
+        """Return a replacement message, the original, or None to drop."""
+        return msg
+
+    def corrupt_reply_result(self, result: bytes) -> bytes:
+        """Tamper with an execution result before replying."""
+        return result
+
+    def bad_nondet(self, nondet: bytes) -> bytes:
+        """Tamper with the primary's nondeterministic value proposal."""
+        return nondet
+
+    def equivocate_pre_prepare(self) -> bool:
+        """Primary: send conflicting pre-prepares to different backups."""
+        return False
+
+
+HONEST = Behavior()
+
+
+class MuteBehavior(Behavior):
+    """Sends nothing at all (fail-silent while still receiving)."""
+
+    def rewrite_outgoing(self, msg, dst):
+        return None
+
+
+class WrongReplyBehavior(Behavior):
+    """Replies with corrupted results; otherwise follows the protocol."""
+
+    def corrupt_reply_result(self, result: bytes) -> bytes:
+        return b"\xff" + result
+
+
+class BadNondetBehavior(Behavior):
+    """Faulty primary proposing a bogus nondeterministic value."""
+
+    def __init__(self, value: bytes = b"\x00" * 8):
+        self.value = value
+
+    def bad_nondet(self, nondet: bytes) -> bytes:
+        return self.value
+
+
+class EquivocatingPrimaryBehavior(Behavior):
+    """Faulty primary that sends different orderings to different backups."""
+
+    def equivocate_pre_prepare(self) -> bool:
+        return True
+
+
+class ForgedAuthBehavior(Behavior):
+    """Sends messages whose authenticators are garbage."""
+
+    def rewrite_outgoing(self, msg, dst):
+        auth = getattr(msg, "auth", None)
+        if auth is not None:
+            from repro.crypto.mac import Authenticator
+            msg.auth = Authenticator.forged(auth.sender, list(auth.tags))
+        return msg

@@ -1,0 +1,81 @@
+"""Per-sequence-number protocol log with watermark-based garbage collection."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.bft.messages import Commit, PrePrepare, Prepare
+
+
+class SeqSlot:
+    """Protocol state for one sequence number in one view regime.
+
+    Tracks the accepted pre-prepare and the prepare/commit certificates
+    being assembled for it.
+    """
+
+    __slots__ = ("seq", "pre_prepare", "prepares", "commits",
+                 "prepared", "committed", "executed", "prepared_cert")
+
+    def __init__(self, seq: int):
+        self.seq = seq
+        self.pre_prepare: Optional[PrePrepare] = None
+        self.prepares: Dict[str, Prepare] = {}
+        self.commits: Dict[str, Commit] = {}
+        self.prepared = False
+        self.committed = False
+        self.executed = False
+        # The highest-view prepared certificate ever assembled for this
+        # sequence number: (view, pre_prepare).  Unlike the working flags
+        # above, this survives view changes — PBFT's P-set is built from
+        # it, so a batch that prepared in view v but was interrupted
+        # mid-re-prepare in v+1 is still carried into v+2.
+        self.prepared_cert: Optional[tuple] = None
+
+    def matching_prepares(self) -> int:
+        """Prepares matching the accepted pre-prepare's digest."""
+        if self.pre_prepare is None:
+            return 0
+        want = self.pre_prepare.batch_digest()
+        return sum(1 for p in self.prepares.values() if p.batch_digest == want)
+
+    def matching_commits(self) -> int:
+        if self.pre_prepare is None:
+            return 0
+        want = self.pre_prepare.batch_digest()
+        return sum(1 for c in self.commits.values() if c.batch_digest == want)
+
+
+class MessageLog:
+    """Slots indexed by sequence number, bounded by the water marks."""
+
+    def __init__(self) -> None:
+        self._slots: Dict[int, SeqSlot] = {}
+
+    def slot(self, seq: int) -> SeqSlot:
+        if seq not in self._slots:
+            self._slots[seq] = SeqSlot(seq)
+        return self._slots[seq]
+
+    def get(self, seq: int) -> Optional[SeqSlot]:
+        return self._slots.get(seq)
+
+    def truncate_below(self, seq: int) -> None:
+        """Discard slots for sequence numbers <= ``seq`` (now stable)."""
+        for s in [s for s in self._slots if s <= seq]:
+            del self._slots[s]
+
+    def clear(self) -> None:
+        self._slots.clear()
+
+    def seqs(self):
+        return sorted(self._slots)
+
+    def prepared_above(self, seq: int):
+        """Slots holding a prepared certificate (from *any* view) for
+        sequence numbers > ``seq``."""
+        return [slot for s, slot in sorted(self._slots.items())
+                if s > seq and slot.prepared_cert is not None]
+
+    def __len__(self) -> int:
+        return len(self._slots)

@@ -1,0 +1,408 @@
+"""BFT protocol messages.
+
+Each message exposes:
+
+- ``kind`` — dispatch key used by :class:`repro.sim.Node`;
+- ``body()`` — canonical bytes covered by MACs/signatures (cached);
+- ``digest()`` — SHA-256 of the body;
+- ``wire_size()`` — bytes charged to the network, body + authentication.
+
+Authentication tags (``auth`` for MAC authenticators, ``sig`` for
+signatures) ride outside the body and are attached by the sender.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.crypto.digest import digest as sha_digest
+from repro.crypto.mac import MAC_SIZE
+from repro.crypto.signatures import SIGNATURE_SIZE
+from repro.encoding.canonical import canonical
+
+NULL_CLIENT = "__null__"
+
+
+class Message:
+    """Base for protocol messages; subclasses define ``_fields()``."""
+
+    kind = "message"
+
+    def __init__(self) -> None:
+        self._body: Optional[bytes] = None
+        self._digest: Optional[bytes] = None
+        self.auth = None   # Optional[Authenticator]
+        self.sig = None    # Optional[bytes]
+
+    def _fields(self) -> tuple:
+        raise NotImplementedError
+
+    def body(self) -> bytes:
+        if self._body is None:
+            self._body = canonical((self.kind,) + self._fields())
+        return self._body
+
+    def digest(self) -> bytes:
+        if self._digest is None:
+            self._digest = sha_digest(self.body())
+        return self._digest
+
+    def wire_size(self) -> int:
+        size = len(self.body())
+        if self.auth is not None:
+            size += self.auth.wire_size()
+        if self.sig is not None:
+            size += SIGNATURE_SIZE
+        return size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}{self._fields()!r}"
+
+
+class Request(Message):
+    """Client request to execute ``op`` (opaque service-level bytes)."""
+
+    kind = "request"
+
+    def __init__(self, client_id: str, request_id: int, op: bytes,
+                 read_only: bool = False):
+        super().__init__()
+        self.client_id = client_id
+        self.request_id = request_id
+        self.op = op
+        self.read_only = read_only
+
+    def _fields(self) -> tuple:
+        return (self.client_id, self.request_id, self.op, self.read_only)
+
+    @classmethod
+    def null(cls) -> "Request":
+        """The no-op request used to fill sequence-number gaps after a
+        view change."""
+        return cls(NULL_CLIENT, 0, b"")
+
+    @property
+    def is_null(self) -> bool:
+        return self.client_id == NULL_CLIENT
+
+
+class Reply(Message):
+    """Replica's reply; carries the full result or only its digest when
+    the tentative-reply optimization designates another replica."""
+
+    kind = "reply"
+
+    def __init__(self, view: int, request_id: int, client_id: str,
+                 replica_id: str, result: Optional[bytes],
+                 result_digest: bytes, tentative: bool = False):
+        super().__init__()
+        self.view = view
+        self.request_id = request_id
+        self.client_id = client_id
+        self.replica_id = replica_id
+        self.result = result
+        self.result_digest = result_digest
+        self.tentative = tentative
+
+    def _fields(self) -> tuple:
+        return (self.view, self.request_id, self.client_id, self.replica_id,
+                self.result, self.result_digest, self.tentative)
+
+
+class PrePrepare(Message):
+    """Primary's ordering proposal for a batch of requests at ``seq``.
+
+    Carries the requests themselves (piggybacked, as in the BFT
+    implementation) plus the primary's nondeterministic value for the
+    batch (BASE's ``propose_value`` output).
+    """
+
+    kind = "pre_prepare"
+
+    def __init__(self, view: int, seq: int, requests: Tuple[Request, ...],
+                 nondet: bytes):
+        super().__init__()
+        self.view = view
+        self.seq = seq
+        self.requests = tuple(requests)
+        self.nondet = nondet
+
+    def _fields(self) -> tuple:
+        return (self.view, self.seq,
+                tuple(r.digest() for r in self.requests), self.nondet)
+
+    def batch_digest(self) -> bytes:
+        """Digest that prepares/commits certify (covers seq/view/batch/nondet)."""
+        return self.digest()
+
+    def wire_size(self) -> int:
+        return super().wire_size() + sum(r.wire_size() for r in self.requests)
+
+
+class Prepare(Message):
+    kind = "prepare"
+
+    def __init__(self, view: int, seq: int, batch_digest: bytes, replica_id: str):
+        super().__init__()
+        self.view = view
+        self.seq = seq
+        self.batch_digest = batch_digest
+        self.replica_id = replica_id
+
+    def _fields(self) -> tuple:
+        return (self.view, self.seq, self.batch_digest, self.replica_id)
+
+
+class Commit(Message):
+    kind = "commit"
+
+    def __init__(self, view: int, seq: int, batch_digest: bytes, replica_id: str):
+        super().__init__()
+        self.view = view
+        self.seq = seq
+        self.batch_digest = batch_digest
+        self.replica_id = replica_id
+
+    def _fields(self) -> tuple:
+        return (self.view, self.seq, self.batch_digest, self.replica_id)
+
+
+class CheckpointMsg(Message):
+    """Announcement that a replica produced the checkpoint at ``seq``.
+
+    Covers both the abstract-state root digest and the digest of the
+    client reply cache — the reply cache is part of the replicated state
+    (as in BFT), so replicas that catch up by state transfer de-duplicate
+    retransmitted requests identically to those that executed them.
+    """
+
+    kind = "checkpoint"
+
+    def __init__(self, seq: int, root_digest: bytes, table_digest: bytes,
+                 replica_id: str):
+        super().__init__()
+        self.seq = seq
+        self.root_digest = root_digest
+        self.table_digest = table_digest
+        self.replica_id = replica_id
+
+    def _fields(self) -> tuple:
+        return (self.seq, self.root_digest, self.table_digest,
+                self.replica_id)
+
+
+@dataclass(frozen=True)
+class PreparedProof:
+    """Evidence carried in a VIEW-CHANGE that a batch prepared at a replica:
+    the pre-prepare (with its requests) plus the view it prepared in."""
+
+    view: int
+    seq: int
+    batch_digest: bytes
+    pre_prepare: PrePrepare
+
+    def summary(self) -> tuple:
+        return (self.view, self.seq, self.batch_digest)
+
+
+class ViewChange(Message):
+    """Signed request to move to ``view``; carries the replica's stable
+    checkpoint proof and its prepared certificates above it."""
+
+    kind = "view_change"
+
+    def __init__(self, view: int, last_stable: int,
+                 checkpoint_proof: Tuple[CheckpointMsg, ...],
+                 prepared: Tuple[PreparedProof, ...], replica_id: str):
+        super().__init__()
+        self.view = view
+        self.last_stable = last_stable
+        self.checkpoint_proof = tuple(checkpoint_proof)
+        self.prepared = tuple(prepared)
+        self.replica_id = replica_id
+
+    def _fields(self) -> tuple:
+        return (self.view, self.last_stable,
+                tuple(m.digest() for m in self.checkpoint_proof),
+                tuple(p.summary() for p in self.prepared),
+                self.replica_id)
+
+    def wire_size(self) -> int:
+        return (super().wire_size()
+                + sum(m.wire_size() for m in self.checkpoint_proof)
+                + sum(p.pre_prepare.wire_size() for p in self.prepared))
+
+
+class NewView(Message):
+    """New primary's signed certificate of 2f+1 view-changes plus the
+    pre-prepares it re-proposes for the new view."""
+
+    kind = "new_view"
+
+    def __init__(self, view: int, view_changes: Tuple[ViewChange, ...],
+                 pre_prepares: Tuple[PrePrepare, ...], replica_id: str):
+        super().__init__()
+        self.view = view
+        self.view_changes = tuple(view_changes)
+        self.pre_prepares = tuple(pre_prepares)
+        self.replica_id = replica_id
+
+    def _fields(self) -> tuple:
+        return (self.view,
+                tuple(m.digest() for m in self.view_changes),
+                tuple(m.digest() for m in self.pre_prepares),
+                self.replica_id)
+
+    def wire_size(self) -> int:
+        return (super().wire_size()
+                + sum(m.wire_size() for m in self.view_changes)
+                + sum(m.wire_size() for m in self.pre_prepares))
+
+
+# -- state transfer ---------------------------------------------------------
+
+
+class FetchCert(Message):
+    """Ask a replica for its latest stable checkpoint certificate."""
+
+    kind = "fetch_cert"
+
+    def __init__(self, replica_id: str, nonce: int):
+        super().__init__()
+        self.replica_id = replica_id
+        self.nonce = nonce
+
+    def _fields(self) -> tuple:
+        return (self.replica_id, self.nonce)
+
+
+class CertReply(Message):
+    """Latest stable checkpoint certificate, plus (when one exists) the
+    sender's latest NEW-VIEW message so that a recovering replica can
+    catch up to the current view — the NEW-VIEW is self-validating."""
+
+    kind = "cert_reply"
+
+    def __init__(self, replica_id: str, nonce: int,
+                 cert: Tuple[CheckpointMsg, ...], new_view=None):
+        super().__init__()
+        self.replica_id = replica_id
+        self.nonce = nonce
+        self.cert = tuple(cert)
+        self.new_view = new_view
+
+    def _fields(self) -> tuple:
+        return (self.replica_id, self.nonce,
+                tuple(m.digest() for m in self.cert),
+                self.new_view.digest() if self.new_view is not None
+                else None)
+
+    def wire_size(self) -> int:
+        size = super().wire_size() + sum(m.wire_size() for m in self.cert)
+        if self.new_view is not None:
+            size += self.new_view.wire_size()
+        return size
+
+
+class FetchMeta(Message):
+    """Fetch partition-tree metadata: the children of node ``index`` at
+    tree ``level``, as of the stable checkpoint ``seq``."""
+
+    kind = "fetch_meta"
+
+    def __init__(self, replica_id: str, seq: int, level: int, index: int):
+        super().__init__()
+        self.replica_id = replica_id
+        self.seq = seq
+        self.level = level
+        self.index = index
+
+    def _fields(self) -> tuple:
+        return (self.replica_id, self.seq, self.level, self.index)
+
+
+class MetaReply(Message):
+    kind = "meta_reply"
+
+    def __init__(self, replica_id: str, seq: int, level: int, index: int,
+                 children: Tuple[Tuple[bytes, int], ...]):
+        super().__init__()
+        self.replica_id = replica_id
+        self.seq = seq
+        self.level = level
+        self.index = index
+        self.children = tuple(children)  # (digest, last_modified_checkpoint)
+
+    def _fields(self) -> tuple:
+        return (self.replica_id, self.seq, self.level, self.index,
+                self.children)
+
+
+class FetchObject(Message):
+    kind = "fetch_object"
+
+    def __init__(self, replica_id: str, seq: int, index: int):
+        super().__init__()
+        self.replica_id = replica_id
+        self.seq = seq
+        self.index = index
+
+    def _fields(self) -> tuple:
+        return (self.replica_id, self.seq, self.index)
+
+
+class ObjectReply(Message):
+    kind = "object_reply"
+
+    def __init__(self, replica_id: str, seq: int, index: int, value: bytes):
+        super().__init__()
+        self.replica_id = replica_id
+        self.seq = seq
+        self.index = index
+        self.value = value
+
+    def _fields(self) -> tuple:
+        return (self.replica_id, self.seq, self.index, self.value)
+
+
+class FetchTable(Message):
+    """Fetch the client reply cache as of stable checkpoint ``seq``."""
+
+    kind = "fetch_table"
+
+    def __init__(self, replica_id: str, seq: int):
+        super().__init__()
+        self.replica_id = replica_id
+        self.seq = seq
+
+    def _fields(self) -> tuple:
+        return (self.replica_id, self.seq)
+
+
+class TableReply(Message):
+    kind = "table_reply"
+
+    def __init__(self, replica_id: str, seq: int, blob: bytes):
+        super().__init__()
+        self.replica_id = replica_id
+        self.seq = seq
+        self.blob = blob
+
+    def _fields(self) -> tuple:
+        return (self.replica_id, self.seq, self.blob)
+
+
+class RecoveryRequest(Message):
+    """Signed announcement that a replica is recovering; peers respond
+    with their stable checkpoint certificates."""
+
+    kind = "recovery_request"
+
+    def __init__(self, replica_id: str, epoch: int):
+        super().__init__()
+        self.replica_id = replica_id
+        self.epoch = epoch
+
+    def _fields(self) -> tuple:
+        return (self.replica_id, self.epoch)

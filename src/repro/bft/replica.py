@@ -1,0 +1,645 @@
+"""The BFT replica: three-phase ordering, execution, and checkpointing.
+
+Normal case (Castro & Liskov 1999):
+
+1. the client sends a REQUEST to the primary;
+2. the primary assigns a sequence number and multicasts PRE-PREPARE,
+   carrying the batch of requests and its nondeterministic value;
+3. backups that accept it multicast PREPARE; a batch is *prepared* at a
+   replica once it has the pre-prepare and 2f matching prepares;
+4. prepared replicas multicast COMMIT; a batch is *committed-local* once
+   prepared and backed by 2f+1 matching commits;
+5. replicas execute committed batches in sequence order and reply.
+
+Checkpoints are taken every ``checkpoint_interval`` requests; a
+checkpoint becomes *stable* with 2f+1 matching CHECKPOINT messages, which
+advances the low water mark and garbage-collects the log.
+
+View changes, state transfer, and proactive recovery are delegated to
+manager objects (see :mod:`repro.bft.viewchange`,
+:mod:`repro.bft.statetransfer`, :mod:`repro.bft.recovery`).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from repro.bft.config import BftConfig
+from repro.bft.costs import CostModel, ZERO_COSTS
+from repro.bft.faults import HONEST, Behavior
+from repro.bft.log import MessageLog
+from repro.bft.messages import (
+    CheckpointMsg,
+    Commit,
+    Message,
+    PrePrepare,
+    Prepare,
+    Reply,
+    Request,
+)
+from repro.bft.recovery import RecoveryManager
+from repro.bft.statemachine import StateManager
+from repro.bft.statetransfer import StateTransferManager
+from repro.bft.viewchange import ViewChangeManager
+from repro.crypto.digest import digest
+from repro.crypto.keys import KeyRegistry
+from repro.crypto.mac import Authenticator
+from repro.crypto.signatures import sign, verify_signature
+from repro.sim.network import Network
+from repro.sim.node import Node
+from repro.sim.tracing import Tracer
+
+
+class Replica(Node):
+    """One member of the replication group."""
+
+    def __init__(self, replica_id: str, network: Network, config: BftConfig,
+                 registry: KeyRegistry, state: StateManager,
+                 tracer: Optional[Tracer] = None,
+                 costs: CostModel = ZERO_COSTS):
+        super().__init__(replica_id, network)
+        self.config = config
+        self.registry = registry
+        self.state = state
+        self.tracer = tracer or Tracer(keep_events=False)
+        self.costs = costs
+        self.behavior: Behavior = HONEST
+        registry.enroll(replica_id)
+
+        self.view = 0
+        self.last_executed = 0
+        self.last_stable = 0
+        self.seq_assigned = 0            # primary: highest seq proposed
+        self.log = MessageLog()
+        # Client reply cache: client_id -> (last executed request_id, result).
+        # Part of the replicated state — checkpointed and transferred — so
+        # all correct replicas de-duplicate retransmissions identically.
+        self.client_table: Dict[str, Tuple[int, bytes]] = {}
+        # seq -> (table digest, serialized table) for retained checkpoints
+        self.table_checkpoints: Dict[int, Tuple[bytes, bytes]] = {}
+        # primary's queue of requests awaiting a pre-prepare
+        self.pending: "OrderedDict[Tuple[str, int], Request]" = OrderedDict()
+        self.in_flight: Dict[Tuple[str, int], int] = {}  # -> seq
+        # seq -> replica -> CheckpointMsg
+        self.checkpoint_msgs: Dict[int, Dict[str, CheckpointMsg]] = {}
+        self.stable_cert: Tuple[CheckpointMsg, ...] = ()
+        # Requests seen but not yet executed: drives the vc timer, and
+        # lets backups relay them to the new primary after a view change
+        # (key -> Request).
+        self.waiting: Dict[Tuple[str, int], Request] = {}
+        # Protocol messages from views ahead of ours (e.g. a new primary's
+        # first pre-prepare racing its NEW-VIEW): buffered and redelivered
+        # once we enter the view.
+        self._future_view_msgs: List[Tuple[str, Message]] = []
+        self.busy_until = 0.0
+
+        self.view_changes = ViewChangeManager(self)
+        self.transfer = StateTransferManager(self)
+        self.recovery = RecoveryManager(self)
+        self.vc_timer = self.make_timer(config.view_change_timeout,
+                                        self._on_vc_timeout)
+        # Retransmission of the latest checkpoint message until it (or a
+        # later one) stabilizes — lost CHECKPOINTs must not stall the
+        # watermarks forever.
+        self._latest_checkpoint_msg: Optional[CheckpointMsg] = None
+        self._ckpt_retry_timer = self.make_timer(
+            config.view_change_timeout, self._retransmit_checkpoint)
+        # Baseline checkpoint 0 so state transfer targets always exist.
+        self.state.take_checkpoint(0)
+        blob = self.serialize_client_table()
+        self.table_checkpoints[0] = (digest(blob), blob)
+
+    # -- identity helpers ------------------------------------------------------
+
+    @property
+    def is_primary(self) -> bool:
+        return self.config.primary_of(self.view) == self.node_id
+
+    @property
+    def primary_id(self) -> str:
+        return self.config.primary_of(self.view)
+
+    @property
+    def other_replicas(self) -> List[str]:
+        return [r for r in self.config.replica_ids if r != self.node_id]
+
+    @property
+    def low_mark(self) -> int:
+        return self.last_stable
+
+    @property
+    def high_mark(self) -> int:
+        return self.last_stable + self.config.log_window
+
+    @property
+    def normal_operation(self) -> bool:
+        return (not self.view_changes.active and not self.recovery.recovering
+                and not self.transfer.active)
+
+    def send(self, dst, msg, size=None):
+        """Send with the Byzantine rewrite hook applied."""
+        out = self.behavior.rewrite_outgoing(msg, dst)
+        if out is not None:
+            super().send(dst, out, size)
+
+    def multicast(self, dsts, msg, size=None):
+        if self.behavior is HONEST:
+            super().multicast(dsts, msg, size=size)  # true IP multicast
+        else:
+            for dst in dsts:
+                self.send(dst, msg, size=size)
+
+    # -- authentication helpers ------------------------------------------------------
+
+    def authenticate(self, msg: Message) -> Message:
+        """Attach a MAC authenticator for all other replicas."""
+        msg.auth = Authenticator.create(self.registry, self.node_id,
+                                        self.other_replicas, msg.body())
+        self.charge(self.costs.macs(len(self.other_replicas))
+                    + self.costs.digest(len(msg.body())))
+        return msg
+
+    def authenticate_for(self, msg: Message, dst: str) -> Message:
+        msg.auth = Authenticator.create(self.registry, self.node_id, [dst],
+                                        msg.body())
+        self.charge(self.costs.macs(1) + self.costs.digest(len(msg.body())))
+        return msg
+
+    def verify_auth(self, src, msg: Message) -> bool:
+        self.charge(self.costs.macs(1))
+        auth = msg.auth
+        if auth is None or auth.sender != src:
+            return False
+        return auth.verify(self.registry, self.node_id, msg.body())
+
+    def sign_msg(self, msg: Message) -> Message:
+        msg.sig = sign(self.registry, self.node_id, msg.body())
+        self.charge(self.costs.signature)
+        return msg
+
+    def verify_sig(self, signer: str, msg: Message) -> bool:
+        self.charge(self.costs.signature)
+        if msg.sig is None:
+            return False
+        return verify_signature(self.registry, signer, msg.body(), msg.sig)
+
+    def trace(self, kind: str, **detail) -> None:
+        self.tracer.emit(self.now, self.node_id, kind, **detail)
+
+    # -- message gating --------------------------------------------------------------
+
+    def on_message(self, src, msg):
+        if self._crashed:
+            return
+        if self.recovery.rebooting:
+            # Fully offline through shutdown + reboot.
+            return
+        # During fetch-and-check the replica participates in agreement
+        # again and serves state transfer to peers (everything served is
+        # digest-verified by the fetcher, so a possibly-corrupt donor
+        # cannot do harm); only *execution* waits for the state check —
+        # see the guards in try_execute and the read-only path.
+        super().on_message(src, msg)
+
+    # -- client requests -----------------------------------------------------------
+
+    def handle_request(self, src, req: Request) -> None:
+        # Requests are authenticated by their *client*, not the transport
+        # source — backups relay client requests to the primary verbatim.
+        if req.auth is not None:
+            self.charge(self.costs.macs(1))
+            if (req.auth.sender != req.client_id
+                    or not req.auth.verify(self.registry, self.node_id,
+                                           req.body())):
+                self.trace("bad_request_auth", client=req.client_id)
+                return
+        last = self.client_table.get(req.client_id)
+        if last is not None and req.request_id <= last[0]:
+            if req.request_id == last[0]:
+                self._send_cached_reply(req.client_id, last[0], last[1])
+            return
+        if req.read_only and self.config.read_only_optimization:
+            # A recovering or fetching replica must not answer reads from
+            # unchecked state; the others provide the 2f+1 quorum.
+            if not self.recovery.recovering and not self.transfer.active:
+                self._execute_read_only(req)
+            return
+        if self.view_changes.active:
+            return
+        if self.is_primary:
+            key = (req.client_id, req.request_id)
+            if key in self.in_flight:
+                # Duplicate of an in-flight request: some backup probably
+                # missed the pre-prepare; retransmit it.
+                slot = self.log.get(self.in_flight[key])
+                if slot is not None and slot.pre_prepare is not None \
+                        and slot.pre_prepare.view == self.view:
+                    self.multicast(self.other_replicas, slot.pre_prepare)
+            elif key not in self.pending:
+                self.pending[key] = req
+                self.try_send_pre_prepare()
+        else:
+            # Relay to the primary (forwarding the client's authenticator)
+            # and start the view-change timer: if the primary is faulty and
+            # never orders the request, we elect a new one.
+            self.send(self.primary_id, req)
+            self.waiting[(req.client_id, req.request_id)] = req
+            self.vc_timer.start()
+
+    def _send_cached_reply(self, client_id: str, request_id: int,
+                           result: bytes) -> None:
+        # Retransmissions are rare; always send the full result.
+        reply = Reply(self.view, request_id, client_id, self.node_id,
+                      result, digest(result))
+        self.authenticate_for(reply, client_id)
+        self.send(client_id, reply)
+
+    def _execute_read_only(self, req: Request) -> None:
+        """Read-only optimization: execute against current state, reply
+        tentatively; the client requires 2f+1 matching tentative replies."""
+        result = self._safe_execute(req.op, req.client_id, req.request_id,
+                                    self.last_executed, b"", read_only=True)
+        result = self.behavior.corrupt_reply_result(result)
+        self._reply(req.client_id, req.request_id, result, tentative=True,
+                    force_full=True)
+        self.trace("read_only_executed", client=req.client_id,
+                   request_id=req.request_id)
+
+    # -- primary: ordering ------------------------------------------------------------
+
+    def try_send_pre_prepare(self) -> None:
+        if not self.is_primary or self.view_changes.active:
+            return
+        while self.pending:
+            # Batching: with the outstanding window full, arriving requests
+            # queue in ``pending`` and ride the next pre-prepare together.
+            outstanding = self.seq_assigned - self.last_executed
+            if outstanding >= self.config.max_outstanding:
+                return
+            if self.seq_assigned + 1 > self.high_mark:
+                return
+            batch: List[Request] = []
+            while self.pending and len(batch) < self.config.batch_max:
+                key, req = self.pending.popitem(last=False)
+                batch.append(req)
+            seq = self.seq_assigned + 1
+            self.seq_assigned = seq
+            for req in batch:
+                self.in_flight[(req.client_id, req.request_id)] = seq
+            nondet = self.state.propose_nondet(batch, seq)
+            nondet = self.behavior.bad_nondet(nondet)
+            pp = PrePrepare(self.view, seq, tuple(batch), nondet)
+            self.authenticate(pp)
+            self.trace("pre_prepare_sent", seq=seq, batch=len(batch))
+            if self.behavior.equivocate_pre_prepare() and len(batch) == 1:
+                self._send_equivocating(pp, batch[0])
+            else:
+                self.multicast(self.other_replicas, pp)
+            # The primary's own log entry; its pre-prepare stands in for
+            # its prepare, so no separate prepare is recorded or sent.
+            slot = self.log.slot(seq)
+            slot.pre_prepare = pp
+            self._check_prepared(slot)
+
+    def _send_equivocating(self, pp: PrePrepare, req: Request) -> None:
+        """Byzantine primary: half the backups get a conflicting ordering."""
+        alt = PrePrepare(pp.view, pp.seq, (Request.null(),), pp.nondet)
+        self.authenticate(alt)
+        others = self.other_replicas
+        for i, dst in enumerate(others):
+            self.send(dst, pp if i % 2 == 0 else alt)
+
+    # -- three-phase protocol ---------------------------------------------------------
+
+    def _stash_future(self, src, msg) -> bool:
+        """Buffer a message from a view we have not entered yet."""
+        if msg.view > self.view and len(self._future_view_msgs) < 512:
+            self._future_view_msgs.append((src, msg))
+            return True
+        return False
+
+    def redeliver_future_msgs(self) -> None:
+        """Re-dispatch buffered messages whose view we have now reached."""
+        stashed, self._future_view_msgs = self._future_view_msgs, []
+        for src, msg in stashed:
+            if msg.view >= self.view:
+                self.on_message(src, msg)
+
+    def handle_pre_prepare(self, src, pp: PrePrepare) -> None:
+        if self._stash_future(src, pp):
+            return
+        if src != self.primary_id or pp.view != self.view:
+            return
+        if not self.verify_auth(src, pp):
+            return
+        if not (self.low_mark < pp.seq <= self.high_mark):
+            return
+        slot = self.log.slot(pp.seq)
+        if slot.pre_prepare is not None:
+            if slot.pre_prepare.view == pp.view:
+                if slot.pre_prepare.batch_digest() != pp.batch_digest():
+                    # Two different pre-prepares for the same (view, seq)
+                    # can only come from a faulty primary: suspect it.
+                    self.trace("conflicting_pre_prepare", seq=pp.seq)
+                    self.view_changes.start(self.view + 1)
+                return
+            # The logged pre-prepare is from an older view that the view
+            # change did not carry forward — stale; replace it.
+            slot.prepares = {}
+            slot.commits = {}
+            slot.prepared = False
+            slot.committed = False
+        if not self.state.check_nondet(list(pp.requests), pp.seq, pp.nondet):
+            self.trace("nondet_rejected", seq=pp.seq)
+            # Do not accept; the vc timer will fire and replace the primary.
+            self.vc_timer.start()
+            return
+        slot.pre_prepare = pp
+        for req in pp.requests:
+            if not req.is_null:
+                self.waiting[(req.client_id, req.request_id)] = req
+        self.vc_timer.start()
+        prep = Prepare(pp.view, pp.seq, pp.batch_digest(), self.node_id)
+        self.authenticate(prep)
+        self.multicast(self.other_replicas, prep)
+        slot.prepares[self.node_id] = prep
+        self._check_prepared(slot)
+
+    def handle_prepare(self, src, prep: Prepare) -> None:
+        if self._stash_future(src, prep):
+            return
+        if prep.view != self.view or src != prep.replica_id:
+            return
+        if src == self.config.primary_of(prep.view):
+            return  # the primary's pre-prepare is its prepare
+        if not self.verify_auth(src, prep):
+            return
+        if not (self.low_mark < prep.seq <= self.high_mark):
+            return
+        slot = self.log.slot(prep.seq)
+        slot.prepares[src] = prep
+        self._check_prepared(slot)
+
+    def _check_prepared(self, slot) -> None:
+        if slot.prepared or slot.pre_prepare is None:
+            return
+        # pre-prepare counts as the primary's prepare: need 2f matching
+        # prepares from non-primary replicas (self included when backup).
+        if slot.matching_prepares() >= 2 * self.config.f:
+            slot.prepared = True
+            if (slot.prepared_cert is None
+                    or slot.prepared_cert[0] < self.view):
+                slot.prepared_cert = (self.view, slot.pre_prepare)
+            self.trace("prepared", seq=slot.seq)
+            com = Commit(self.view, slot.seq,
+                         slot.pre_prepare.batch_digest(), self.node_id)
+            self.authenticate(com)
+            self.multicast(self.other_replicas, com)
+            slot.commits[self.node_id] = com
+            self._check_committed(slot)
+
+    def handle_commit(self, src, com: Commit) -> None:
+        if self._stash_future(src, com):
+            return
+        if com.view != self.view or src != com.replica_id:
+            return
+        if not self.verify_auth(src, com):
+            return
+        if not (self.low_mark < com.seq <= self.high_mark):
+            return
+        slot = self.log.slot(com.seq)
+        slot.commits[src] = com
+        self._check_committed(slot)
+
+    def _check_committed(self, slot) -> None:
+        if slot.committed or not slot.prepared:
+            return
+        if slot.matching_commits() >= self.config.quorum:
+            slot.committed = True
+            self.trace("committed", seq=slot.seq)
+            self.try_execute()
+
+    # -- execution ------------------------------------------------------------------
+
+    def try_execute(self) -> None:
+        if self.transfer.active or self.recovery.recovering:
+            return
+        while True:
+            slot = self.log.get(self.last_executed + 1)
+            if slot is None or not slot.committed or slot.executed:
+                break
+            pp = slot.pre_prepare
+            self.last_executed = slot.seq
+            slot.executed = True
+            for req in pp.requests:
+                self._execute_request(req, slot.seq, pp.nondet)
+            if slot.seq % self.config.checkpoint_interval == 0:
+                self._take_checkpoint(slot.seq)
+        if self.is_primary:
+            self.try_send_pre_prepare()
+        if not self.waiting:
+            self.vc_timer.stop()
+        else:
+            self.vc_timer.restart()
+
+    def _execute_request(self, req: Request, seq: int, nondet: bytes) -> None:
+        self.waiting.pop((req.client_id, req.request_id), None)
+        self.in_flight.pop((req.client_id, req.request_id), None)
+        if req.is_null:
+            return
+        last = self.client_table.get(req.client_id)
+        if last is not None and req.request_id <= last[0]:
+            return  # duplicate within a re-proposed batch
+        result = self._safe_execute(req.op, req.client_id, req.request_id,
+                                    seq, nondet)
+        result = self.behavior.corrupt_reply_result(result)
+        self.trace("executed", seq=seq, client=req.client_id,
+                   request_id=req.request_id)
+        self._reply(req.client_id, req.request_id, result, seq=seq)
+
+    def _safe_execute(self, op: bytes, client_id: str, request_id: int,
+                      seq: int, nondet: bytes,
+                      read_only: bool = False) -> bytes:
+        """Execute, mapping service exceptions to deterministic error
+        results: a Byzantine client's malformed operation must not crash
+        replicas, and all correct replicas must produce the same reply."""
+        try:
+            return self.state.execute(op, client_id, request_id, seq,
+                                      nondet, read_only=read_only)
+        except Exception as exc:
+            self.trace("execute_error", error=type(exc).__name__)
+            return b"__error__:" + type(exc).__name__.encode("ascii")
+
+    def _reply(self, client_id: str, request_id: int, result: bytes,
+               tentative: bool = False, seq: int = 0,
+               force_full: bool = False) -> None:
+        rdigest = digest(result)
+        self.charge(self.costs.digest(len(result)))
+        full = (force_full or not self.config.tentative_reply_digests
+                or self._is_designated(seq))
+        reply = Reply(self.view, request_id, client_id, self.node_id,
+                      result if full else None, rdigest, tentative)
+        if not tentative:
+            self.client_table[client_id] = (request_id, result)
+        self.authenticate_for(reply, client_id)
+        self.send(client_id, reply)
+
+    def _is_designated(self, seq: int) -> bool:
+        """The one replica that sends the full result for this seq."""
+        return self.config.replica_index(self.node_id) == seq % self.config.n
+
+    # -- checkpoints -------------------------------------------------------------------
+
+    def serialize_client_table(self) -> bytes:
+        from repro.encoding.canonical import canonical
+        entries = tuple(sorted(
+            (client, request_id, result)
+            for client, (request_id, result) in self.client_table.items()))
+        return canonical(entries)
+
+    def install_client_table(self, blob: bytes) -> None:
+        from repro.encoding.canonical import decanonical
+        self.client_table = {
+            client: (request_id, result)
+            for client, request_id, result in decanonical(blob)}
+
+    def _take_checkpoint(self, seq: int) -> None:
+        root = self.state.take_checkpoint(seq)
+        table_blob = self.serialize_client_table()
+        table_digest = digest(table_blob)
+        self.table_checkpoints[seq] = (table_digest, table_blob)
+        self.charge(self.costs.digest(len(table_blob)))
+        self.trace("checkpoint_taken", seq=seq)
+        # Checkpoint messages are signed (not MACed) so that certificates
+        # assembled from them are independently verifiable by third parties
+        # — view-change messages and recovering replicas rely on this.
+        msg = CheckpointMsg(seq, root, table_digest, self.node_id)
+        self.sign_msg(msg)
+        self.multicast(self.other_replicas, msg)
+        self._latest_checkpoint_msg = msg
+        self._ckpt_retry_timer.restart()
+        self._record_checkpoint_msg(self.node_id, msg)
+
+    def _retransmit_checkpoint(self) -> None:
+        msg = self._latest_checkpoint_msg
+        if (msg is not None and msg.seq > self.last_stable
+                and not self.recovery.rebooting):
+            self.multicast(self.other_replicas, msg)
+            self._ckpt_retry_timer.restart()
+
+    def handle_checkpoint(self, src, msg: CheckpointMsg) -> None:
+        if src != msg.replica_id or not self.verify_sig(src, msg):
+            return
+        if msg.seq <= self.last_stable:
+            return
+        self._record_checkpoint_msg(src, msg)
+
+    def valid_checkpoint_cert(self, seq: int, root: bytes, msgs) -> bool:
+        """A valid certificate: quorum of distinct, correctly signed
+        CHECKPOINT messages all vouching for (seq, root) and agreeing on
+        the reply-cache digest."""
+        seen = set()
+        table_digests = set()
+        for m in msgs:
+            if (getattr(m, "kind", "") != "checkpoint" or m.seq != seq
+                    or m.root_digest != root
+                    or m.replica_id not in self.config.replica_ids
+                    or m.replica_id in seen):
+                continue
+            if not self.verify_sig(m.replica_id, m):
+                continue
+            seen.add(m.replica_id)
+            table_digests.add(m.table_digest)
+        return len(seen) >= self.config.quorum and len(table_digests) == 1
+
+    def _record_checkpoint_msg(self, src: str, msg: CheckpointMsg) -> None:
+        by_replica = self.checkpoint_msgs.setdefault(msg.seq, {})
+        by_replica[src] = msg
+        matching = [m for m in by_replica.values()
+                    if m.root_digest == msg.root_digest
+                    and m.table_digest == msg.table_digest]
+        if len(matching) < self.config.quorum:
+            return
+        cert = tuple(sorted(matching, key=lambda m: m.replica_id))
+        own_root = self.state.checkpoint_root(msg.seq)
+        own_table = self.table_checkpoints.get(msg.seq)
+        if own_root == msg.root_digest and own_table is not None \
+                and own_table[0] == msg.table_digest:
+            self._mark_stable(msg.seq, cert)
+        elif msg.seq > self.last_executed:
+            # We are out of date (missed requests that were garbage
+            # collected) — fetch the stable checkpoint.
+            self.transfer.initiate(msg.seq, msg.root_digest, cert)
+        elif own_root is not None and msg.seq >= self.last_stable:
+            # We took this checkpoint ourselves and our digest differs:
+            # our state is corrupt or diverged; fetch from the others.
+            # (A *missing* record is NOT divergence — it just means we
+            # state-transferred past this seq and never took it; rolling
+            # back on stale certificates would rewrite executed history.)
+            self.trace("checkpoint_divergence", seq=msg.seq)
+            self.transfer.initiate(msg.seq, msg.root_digest, cert,
+                                   force=True)
+
+    def _mark_stable(self, seq: int, cert: Tuple[CheckpointMsg, ...]) -> None:
+        if seq <= self.last_stable:
+            return
+        self.last_stable = seq
+        self.stable_cert = cert
+        self.log.truncate_below(seq)
+        self.state.discard_checkpoints_below(seq)
+        for old in [s for s in self.table_checkpoints if s < seq]:
+            del self.table_checkpoints[old]
+        for old in [s for s in self.checkpoint_msgs if s <= seq]:
+            del self.checkpoint_msgs[old]
+        self.trace("checkpoint_stable", seq=seq)
+        if self._latest_checkpoint_msg is not None \
+                and self._latest_checkpoint_msg.seq <= seq:
+            self._ckpt_retry_timer.stop()
+        if self.is_primary:
+            self.try_send_pre_prepare()  # watermarks moved
+
+    # -- view changes (delegated) --------------------------------------------------------
+
+    def _on_vc_timeout(self) -> None:
+        if self.recovery.recovering or self.transfer.active:
+            return
+        self.trace("vc_timeout", view=self.view)
+        self.view_changes.start(self.view + 1)
+
+    def handle_view_change(self, src, msg) -> None:
+        self.view_changes.on_view_change(src, msg)
+
+    def handle_new_view(self, src, msg) -> None:
+        self.view_changes.on_new_view(src, msg)
+
+    # -- state transfer (delegated) ---------------------------------------------------------
+
+    def handle_fetch_cert(self, src, msg) -> None:
+        self.transfer.on_fetch_cert(src, msg)
+
+    def handle_cert_reply(self, src, msg) -> None:
+        self.transfer.on_cert_reply(src, msg)
+
+    def handle_fetch_meta(self, src, msg) -> None:
+        self.transfer.on_fetch_meta(src, msg)
+
+    def handle_meta_reply(self, src, msg) -> None:
+        self.transfer.on_meta_reply(src, msg)
+
+    def handle_fetch_object(self, src, msg) -> None:
+        self.transfer.on_fetch_object(src, msg)
+
+    def handle_object_reply(self, src, msg) -> None:
+        self.transfer.on_object_reply(src, msg)
+
+    def handle_fetch_table(self, src, msg) -> None:
+        self.transfer.on_fetch_table(src, msg)
+
+    def handle_table_reply(self, src, msg) -> None:
+        self.transfer.on_table_reply(src, msg)
+
+    # -- recovery (delegated) -------------------------------------------------------------------
+
+    def handle_recovery_request(self, src, msg) -> None:
+        self.recovery.on_recovery_request(src, msg)

@@ -1,0 +1,289 @@
+"""View changes: replacing a faulty primary.
+
+When a backup's timer expires before a request executes (or it sees
+direct evidence of primary misbehaviour), it stops accepting messages in
+the current view and multicasts a signed VIEW-CHANGE carrying its stable
+checkpoint proof and the prepared certificates above it.  The primary of
+the new view collects 2f+1 view-changes and multicasts NEW-VIEW, which
+re-proposes every batch that may have committed (highest-view prepared
+certificate per sequence number; null requests fill gaps).  Backups
+recompute the re-proposals from the view-changes and accept only a
+matching NEW-VIEW, so a faulty new primary cannot rewrite history.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.bft.messages import (
+    NewView,
+    PrePrepare,
+    Prepare,
+    PreparedProof,
+    Request,
+    ViewChange,
+)
+
+
+class ViewChangeManager:
+    """Per-replica view-change protocol state."""
+
+    def __init__(self, replica) -> None:
+        self.replica = replica
+        self.active = False
+        self.target_view = 0
+        # view -> replica_id -> ViewChange
+        self.received: Dict[int, Dict[str, ViewChange]] = {}
+        #: Latest NEW-VIEW sent or accepted; forwarded in CERT replies so
+        #: recovering replicas can catch up to the current view.
+        self.last_new_view: Optional[NewView] = None
+        self._nv_timer = replica.make_timer(
+            replica.config.view_change_timeout, self._on_new_view_timeout)
+
+    # -- initiating ----------------------------------------------------------
+
+    def start(self, new_view: int) -> None:
+        """Move to ``new_view``: broadcast our VIEW-CHANGE and wait."""
+        r = self.replica
+        if new_view <= r.view:
+            return
+        if self.active and new_view <= self.target_view:
+            return
+        self.active = True
+        self.target_view = new_view
+        r.vc_timer.stop()
+        r.trace("view_change_started", view=new_view)
+
+        prepared = tuple(
+            PreparedProof(slot.prepared_cert[0], slot.seq,
+                          slot.prepared_cert[1].batch_digest(),
+                          slot.prepared_cert[1])
+            for slot in r.log.prepared_above(r.last_stable))
+        vc = ViewChange(new_view, r.last_stable, r.stable_cert, prepared,
+                        r.node_id)
+        r.sign_msg(vc)
+        r.multicast(r.other_replicas, vc)
+        self._record(r.node_id, vc)
+        # Exponential backoff: if the new primary is also faulty we will
+        # time out and move another view along, waiting twice as long
+        # (capped so the delay stays finite under long view runs).
+        backoff = r.config.view_change_timeout * (
+            2 ** min(16, max(0, new_view - r.view - 1)))
+        self._nv_timer.restart(backoff)
+        self._maybe_assemble(new_view)
+
+    def _on_new_view_timeout(self) -> None:
+        if self.active:
+            self.replica.trace("new_view_timeout", view=self.target_view)
+            self.start(self.target_view + 1)
+
+    # -- receiving view-changes ---------------------------------------------------
+
+    def on_view_change(self, src: str, msg: ViewChange) -> None:
+        r = self.replica
+        if src != msg.replica_id or src not in r.config.replica_ids:
+            return
+        if msg.view <= r.view:
+            return
+        if not r.verify_sig(src, msg):
+            return
+        if not self._valid_view_change(msg):
+            return
+        self._record(src, msg)
+        # Liveness rule: if f+1 replicas want a view above ours, join the
+        # smallest such view even if our own timer has not fired.
+        if not self.active or msg.view > self.target_view:
+            candidates = sorted(v for v, by in self.received.items()
+                                if v > (self.target_view if self.active
+                                        else r.view)
+                                and len(by) >= r.config.f + 1)
+            if candidates:
+                self.start(candidates[0])
+        self._maybe_assemble(msg.view)
+
+    def _record(self, src: str, msg: ViewChange) -> None:
+        self.received.setdefault(msg.view, {})[src] = msg
+
+    def _valid_view_change(self, msg: ViewChange) -> bool:
+        """Check the embedded checkpoint proof and prepared certificates."""
+        r = self.replica
+        if msg.last_stable > 0:
+            if not msg.checkpoint_proof:
+                return False
+            root = msg.checkpoint_proof[0].root_digest
+            if not r.valid_checkpoint_cert(msg.last_stable, root,
+                                           msg.checkpoint_proof):
+                return False
+        for proof in msg.prepared:
+            pp = proof.pre_prepare
+            if (pp.seq != proof.seq or pp.view != proof.view
+                    or pp.batch_digest() != proof.batch_digest):
+                return False
+            if proof.seq <= msg.last_stable:
+                return False
+        return True
+
+    # -- new primary: assembling NEW-VIEW ---------------------------------------------
+
+    def _maybe_assemble(self, view: int) -> None:
+        r = self.replica
+        if r.config.primary_of(view) != r.node_id:
+            return
+        by_replica = self.received.get(view, {})
+        if len(by_replica) < r.config.quorum:
+            return
+        if not self.active or self.target_view != view:
+            # We are the new primary but have not timed out ourselves yet;
+            # join so our own view-change is included.
+            self.start(view)
+            by_replica = self.received.get(view, {})
+            if len(by_replica) < r.config.quorum:
+                return
+        vcs = tuple(sorted(by_replica.values(),
+                           key=lambda m: m.replica_id)[:r.config.quorum])
+        if r.node_id not in {m.replica_id for m in vcs}:
+            own = by_replica.get(r.node_id)
+            if own is None:
+                return
+            vcs = tuple(sorted(list(vcs)[:-1] + [own],
+                               key=lambda m: m.replica_id))
+        pre_prepares = self.compute_new_view_pre_prepares(view, vcs)
+        nv = NewView(view, vcs, tuple(pre_prepares), r.node_id)
+        r.sign_msg(nv)
+        r.multicast(r.other_replicas, nv)
+        r.trace("new_view_sent", view=view, reproposed=len(pre_prepares))
+        self.last_new_view = nv
+        self._enter_view(view, vcs, pre_prepares)
+
+    @staticmethod
+    def compute_new_view_pre_prepares(view: int, vcs) -> List[PrePrepare]:
+        """Deterministically derive the re-proposals from 2f+1 view-changes.
+
+        For each sequence number between the highest stable checkpoint
+        (min-s) and the highest prepared request (max-s), re-propose the
+        batch from the prepared certificate with the highest view, or a
+        null request if no view-change prepared anything there.
+        """
+        min_s = max(vc.last_stable for vc in vcs)
+        best: Dict[int, PreparedProof] = {}
+        for vc in vcs:
+            for proof in vc.prepared:
+                if proof.seq <= min_s:
+                    continue
+                cur = best.get(proof.seq)
+                if cur is None or proof.view > cur.view:
+                    best[proof.seq] = proof
+        max_s = max(best) if best else min_s
+        pps = []
+        for seq in range(min_s + 1, max_s + 1):
+            proof = best.get(seq)
+            if proof is not None:
+                src_pp = proof.pre_prepare
+                pps.append(PrePrepare(view, seq, src_pp.requests,
+                                      src_pp.nondet))
+            else:
+                pps.append(PrePrepare(view, seq, (Request.null(),), b""))
+        return pps
+
+    # -- backups: accepting NEW-VIEW -------------------------------------------------
+
+    def on_new_view(self, src: str, msg: NewView) -> None:
+        """Accept a NEW-VIEW.  The message is validated against the
+        signature of the claimed new primary, not the transport source —
+        NEW-VIEWs are self-validating and may be *forwarded* (a peer
+        relays its stored copy to a recovering replica)."""
+        r = self.replica
+        if r.config.primary_of(msg.view) != msg.replica_id:
+            return
+        if msg.view <= r.view:
+            return
+        if not r.verify_sig(msg.replica_id, msg):
+            return
+        if len({vc.replica_id for vc in msg.view_changes}) < r.config.quorum:
+            return
+        for vc in msg.view_changes:
+            if vc.view != msg.view or not r.verify_sig(vc.replica_id, vc):
+                return
+            if not self._valid_view_change(vc):
+                return
+        expected = self.compute_new_view_pre_prepares(msg.view,
+                                                      msg.view_changes)
+        if ([pp.digest() for pp in expected]
+                != [pp.digest() for pp in msg.pre_prepares]):
+            r.trace("new_view_rejected", view=msg.view)
+            return
+        r.trace("new_view_accepted", view=msg.view)
+        self.last_new_view = msg
+        self._enter_view(msg.view, msg.view_changes, list(msg.pre_prepares))
+
+    # -- entering the new view ------------------------------------------------------
+
+    def _enter_view(self, view: int, vcs, pre_prepares: List[PrePrepare]) -> None:
+        r = self.replica
+        r.view = view
+        self.active = False
+        self._nv_timer.stop()
+        for v in [v for v in self.received if v <= view]:
+            del self.received[v]
+
+        min_s = max(vc.last_stable for vc in vcs)
+        # If others progressed to a stable checkpoint we do not have, fetch.
+        if min_s > r.last_stable:
+            donor_vc = next(vc for vc in vcs if vc.last_stable == min_s)
+            if donor_vc.checkpoint_proof:
+                root = donor_vc.checkpoint_proof[0].root_digest
+                if min_s > r.last_executed:
+                    r.transfer.initiate(min_s, root, donor_vc.checkpoint_proof)
+
+        # Protocol state not carried into the new view is void: discard
+        # slots above the checkpoint that the NEW-VIEW does not re-propose
+        # (a stale pre-prepare left behind would masquerade as a
+        # conflicting proposal when the new primary reuses its seq).
+        covered = {pp.seq for pp in pre_prepares}
+        for seq in r.log.seqs():
+            if seq > max(min_s, r.last_executed) and seq not in covered:
+                slot = r.log.slot(seq)
+                slot.pre_prepare = None
+                slot.prepares = {}
+                slot.commits = {}
+                slot.prepared = False
+                slot.committed = False
+
+        max_seq = min_s
+        for pp in pre_prepares:
+            max_seq = max(max_seq, pp.seq)
+            slot = r.log.slot(pp.seq)
+            slot.pre_prepare = pp
+            slot.prepares = {}
+            slot.commits = {}
+            slot.prepared = False
+            slot.committed = False
+            slot.executed = slot.executed and pp.seq <= r.last_executed
+            if not r.is_primary:
+                prep = Prepare(view, pp.seq, pp.batch_digest(), r.node_id)
+                r.authenticate(prep)
+                r.multicast(r.other_replicas, prep)
+                slot.prepares[r.node_id] = prep
+        if r.is_primary:
+            r.seq_assigned = max_seq
+            # Requests that were in flight but not re-proposed must be
+            # ordered afresh in this view.
+            for key, req_seq in list(r.in_flight.items()):
+                del r.in_flight[key]
+        for slot_seq in r.log.seqs():
+            r._check_prepared(r.log.slot(slot_seq))
+        if r.waiting:
+            # Relay un-executed requests straight to the new primary so
+            # clients do not have to retransmit to make progress.
+            if not r.is_primary:
+                for req in list(r.waiting.values()):
+                    r.send(r.primary_id, req)
+            r.vc_timer.restart()
+        if r.is_primary:
+            for req in list(r.waiting.values()):
+                key = (req.client_id, req.request_id)
+                if key not in r.pending and key not in r.in_flight:
+                    r.pending[key] = req
+            r.try_send_pre_prepare()
+        r.redeliver_future_msgs()
+        r.try_execute()

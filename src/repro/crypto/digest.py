@@ -1,0 +1,23 @@
+"""SHA-256 digests over canonical byte encodings."""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable
+
+DIGEST_SIZE = 32
+
+NULL_DIGEST = b"\x00" * DIGEST_SIZE
+
+
+def digest(data: bytes) -> bytes:
+    """SHA-256 of ``data``."""
+    return hashlib.sha256(data).digest()
+
+
+def digest_many(parts: Iterable[bytes]) -> bytes:
+    """SHA-256 over the concatenation of ``parts`` without copying."""
+    h = hashlib.sha256()
+    for part in parts:
+        h.update(part)
+    return h.digest()

@@ -1,0 +1,31 @@
+"""Simulated public-key signatures.
+
+View-change, new-view, and recovery-request messages are signed rather
+than MACed (a faulty replica must not be able to fabricate them for
+others).  We simulate signatures with an HMAC under the signer's private
+key, verified through the :class:`~repro.crypto.keys.KeyRegistry`.  The
+protocol-visible behaviour is identical to RSA signatures: only the
+holder of the private key can produce a tag that verifies, and any node
+can verify it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+from repro.crypto.keys import KeyRegistry
+
+SIGNATURE_SIZE = 32
+
+
+def sign(registry: KeyRegistry, signer: object, data: bytes) -> bytes:
+    """Produce a signature over ``data`` with ``signer``'s private key."""
+    return hmac.new(registry.private_key(signer), data, hashlib.sha256).digest()
+
+
+def verify_signature(registry: KeyRegistry, signer: object, data: bytes,
+                     signature: bytes) -> bool:
+    """Check that ``signature`` was produced by ``signer`` over ``data``."""
+    expected = hmac.new(registry.private_key(signer), data, hashlib.sha256).digest()
+    return hmac.compare_digest(expected, signature)

@@ -1,0 +1,98 @@
+"""Injective canonical encoding of simple Python values.
+
+Protocol messages are digested and MACed over a canonical byte string.
+This encoder handles the value shapes messages are built from — ints,
+bytes, strings, bools, None, floats, and (nested) tuples/lists — with
+type tags and length prefixes so the encoding is injective: distinct
+values never encode to the same bytes.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any
+
+from repro.errors import EncodingError
+
+
+def canonical(value: Any) -> bytes:
+    """Encode ``value`` to canonical bytes."""
+    out: list = []
+    _encode(value, out)
+    return b"".join(out)
+
+
+def decanonical(data: bytes) -> Any:
+    """Decode canonical bytes back to the value (lists decode as tuples)."""
+    value, pos = _decode(data, 0)
+    if pos != len(data):
+        raise EncodingError(f"{len(data) - pos} trailing bytes after value")
+    return value
+
+
+def _decode(data: bytes, pos: int):
+    if pos >= len(data):
+        raise EncodingError("truncated canonical data")
+    tag = data[pos:pos + 1]
+    pos += 1
+    if tag == b"N":
+        return None, pos
+    if tag == b"T":
+        return True, pos
+    if tag == b"F":
+        return False, pos
+    if tag == b"D":
+        _check(data, pos, 8)
+        return struct.unpack(">d", data[pos:pos + 8])[0], pos + 8
+    if tag in (b"I", b"B", b"S"):
+        _check(data, pos, 4)
+        length = struct.unpack(">I", data[pos:pos + 4])[0]
+        pos += 4
+        _check(data, pos, length)
+        body = data[pos:pos + length]
+        pos += length
+        if tag == b"I":
+            return int(body.decode("ascii")), pos
+        if tag == b"B":
+            return body, pos
+        return body.decode("utf-8"), pos
+    if tag == b"L":
+        _check(data, pos, 4)
+        count = struct.unpack(">I", data[pos:pos + 4])[0]
+        pos += 4
+        items = []
+        for _ in range(count):
+            item, pos = _decode(data, pos)
+            items.append(item)
+        return tuple(items), pos
+    raise EncodingError(f"unknown canonical tag {tag!r}")
+
+
+def _check(data: bytes, pos: int, need: int) -> None:
+    if pos + need > len(data):
+        raise EncodingError("truncated canonical data")
+
+
+def _encode(value: Any, out: list) -> None:
+    if value is None:
+        out.append(b"N")
+    elif value is True:
+        out.append(b"T")
+    elif value is False:
+        out.append(b"F")
+    elif isinstance(value, int):
+        body = str(value).encode("ascii")
+        out.append(b"I" + struct.pack(">I", len(body)) + body)
+    elif isinstance(value, float):
+        out.append(b"D" + struct.pack(">d", value))
+    elif isinstance(value, bytes):
+        out.append(b"B" + struct.pack(">I", len(value)) + value)
+    elif isinstance(value, str):
+        body = value.encode("utf-8")
+        out.append(b"S" + struct.pack(">I", len(body)) + body)
+    elif isinstance(value, (tuple, list)):
+        out.append(b"L" + struct.pack(">I", len(value)))
+        for item in value:
+            _encode(item, out)
+    else:
+        raise EncodingError(f"cannot canonically encode {type(value).__name__}")

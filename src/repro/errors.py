@@ -1,0 +1,29 @@
+"""Exception hierarchy shared across the repro packages."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ProtocolError(ReproError):
+    """A replica or client received a malformed or invalid protocol message."""
+
+
+class AuthenticationError(ProtocolError):
+    """A MAC or signature failed verification."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid replication/service configuration (e.g. n < 3f + 1)."""
+
+
+class StateTransferError(ReproError):
+    """State transfer could not complete or fetched objects failed digest checks."""
+
+
+class ServiceError(ReproError):
+    """A wrapped service implementation returned an unexpected failure."""
+
+
+class EncodingError(ReproError):
+    """XDR encoding or decoding failed."""

@@ -1,0 +1,176 @@
+"""Canonical experiment configurations shared by the benchmark harness.
+
+Each function stands up a deployment with the calibrated cost models and
+runs the paper workload, returning the measured numbers the benchmark
+files render into tables/figures.  The workloads are scaled-down
+versions of the paper's (see EXPERIMENTS.md for the scaling discussion);
+overhead *ratios*, not absolute seconds, are the reproduction target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Type
+
+from repro.bft.config import BftConfig
+from repro.harness import costs as C
+from repro.nfs.backends import ALL_BACKENDS, LinuxExt2Backend
+from repro.nfs.backends.core import MemoryFilesystem
+from repro.nfs.client import NfsClient
+from repro.nfs.service import build_basefs, build_nfs_std
+from repro.nfs.spec import AbstractSpecConfig
+from repro.thor.client import ThorClient
+from repro.thor.server import ThorServerConfig
+from repro.thor.service import build_base_thor, build_thor_std
+from repro.workloads.andrew import AndrewBenchmark, AndrewConfig, AndrewResult
+from repro.workloads.oo7 import OO7Benchmark, OO7Config, OO7Database
+
+#: The scaled Andrew runs standing in for Andrew100 / Andrew500.  The
+#: paper's scale multiplies the source tree 100/500-fold; ours uses the
+#: same 5-phase structure with fewer copies so the simulation stays fast.
+ANDREW100 = AndrewConfig(copies=20)
+ANDREW500 = AndrewConfig(copies=60)
+
+SPEC = AbstractSpecConfig(array_size=4096)
+
+
+#: Time scale: the workloads are ~70x smaller than the paper's, so the
+#: simulated reboot is scaled the same way (the paper simulated 30 s
+#: reboots — 6.7% of its Andrew100 run; ours matches that proportion).
+REBOOT_DELAY = 0.45
+
+#: NFS client attribute-cache TTL: generous, so caches stay warm within
+#: a phase (the Andrew driver expires them *between* phases, mirroring
+#: how real TTLs relate to the paper's minutes-long phases).
+ATTR_TTL = 30.0
+
+
+def _bft_config(n: int = 4, recovery_interval: float = 0.0,
+                recovery_stagger: float = 0.0) -> BftConfig:
+    return BftConfig(n=n, checkpoint_interval=64,
+                     view_change_timeout=0.15, client_retry_timeout=0.1,
+                     recovery_interval=recovery_interval,
+                     recovery_stagger=recovery_stagger,
+                     reboot_delay=REBOOT_DELAY)
+
+
+@dataclass
+class AndrewRun:
+    result: AndrewResult
+    cluster: object = None
+    backend: object = None
+
+
+def run_andrew_std(config: AndrewConfig,
+                   backend_class: Type[MemoryFilesystem] = LinuxExt2Backend,
+                   seed: int = 0) -> AndrewRun:
+    """The unreplicated NFS-std baseline for one vendor."""
+    backend, transport = build_nfs_std(
+        backend_class, profile=C.vendor_profile(backend_class.vendor),
+        network_config=C.lan_network(seed), seed=seed)
+    fs = NfsClient(transport, attr_ttl=ATTR_TTL)
+    result = AndrewBenchmark(fs, config).run()
+    return AndrewRun(result, backend=backend)
+
+
+def run_andrew_basefs(config: AndrewConfig,
+                      backend_classes: Optional[Sequence[type]] = None,
+                      recovery_interval: float = 0.0,
+                      recovery_stagger: float = 0.0,
+                      seed: int = 0) -> AndrewRun:
+    """BASEFS (homogeneous by default; pass ALL_BACKENDS for Table V)."""
+    backend_classes = list(backend_classes or [LinuxExt2Backend] * 4)
+    cluster, transport = build_basefs(
+        backend_classes, spec=SPEC,
+        config=_bft_config(recovery_interval=recovery_interval,
+                           recovery_stagger=recovery_stagger),
+        profiles=[C.vendor_profile(cls.vendor) for cls in backend_classes],
+        replica_costs=C.replica_costs(),
+        network_config=C.lan_network(seed),
+        per_object_check_cost=C.PER_OBJECT_CHECK_COST,
+        checkpoint_cost=C.CHECKPOINT_COST,
+        seed=seed)
+    fs = NfsClient(transport, attr_ttl=ATTR_TTL)
+    result = AndrewBenchmark(fs, config).run()
+    if recovery_interval > 0:
+        # Let staggered recoveries that started near the end of the
+        # measured workload complete (the elapsed times above exclude
+        # this settling; the paper likewise measures the benchmark while
+        # recoveries run on their own schedule).
+        done = cluster.run_until(
+            lambda: all(r.recovery.records and not r.recovery.recovering
+                        for r in cluster.replicas),
+            max_events=2_000_000)
+        if not done:
+            cluster.run(10.0)
+    return AndrewRun(result, cluster=cluster)
+
+
+# -- OO7 / Thor -----------------------------------------------------------------
+
+#: Scaled-down stand-in for the paper's medium database (500 x 200).
+OO7_BENCH = OO7Config(num_composites=100, atomic_per_composite=50,
+                      assembly_levels=5)
+
+THOR_SERVER_CONFIG = ThorServerConfig(
+    cache_pages=72,            # scaled 20 MB server cache (~52% of the DB)
+    mob_bytes=96 * 1024,       # scaled 16 MB MOB
+    vq_capacity=64,
+    disk_seek_cost=C.THOR_DISK_SEEK,
+    disk_byte_cost=C.THOR_DISK_BYTE)
+
+OO7_CLIENT_CACHE = 128 * 1024  # scaled 16 MB client cache
+
+
+@dataclass
+class OO7Run:
+    results: Dict[str, object]
+    database: OO7Database
+    cluster: object = None
+    server: object = None
+
+
+def _run_traversals(bench: OO7Benchmark, names: Sequence[str],
+                    cold: Sequence = ()):
+    results = {}
+    for name in names:
+        bench.client.drop_caches()          # cold client cache
+        for server in cold:                 # cold server caches too
+            server.cache.clear()
+        results[name] = getattr(bench, name.lower())()
+    return results
+
+
+def run_oo7_std(names: Sequence[str], config: OO7Config = OO7_BENCH,
+                seed: int = 0) -> OO7Run:
+    database = OO7Database(config)
+    server, transport = build_thor_std(
+        database.load_into, THOR_SERVER_CONFIG,
+        network_config=C.lan_network(seed), op_cost=C.THOR_OP_COST,
+        seed=seed)
+    client = ThorClient(transport, "oo7", cache_bytes=OO7_CLIENT_CACHE)
+    client.start_session()
+    bench = OO7Benchmark(database, client)
+    return OO7Run(_run_traversals(bench, names, cold=[server]), database,
+                  server=server)
+
+
+def run_oo7_base(names: Sequence[str], config: OO7Config = OO7_BENCH,
+                 seed: int = 0) -> OO7Run:
+    database = OO7Database(config)
+    cluster, transport = build_base_thor(
+        database.num_pages + 8, database.load_into,
+        server_config=THOR_SERVER_CONFIG, config=_bft_config(),
+        replica_costs=C.replica_costs(),
+        network_config=C.lan_network(seed),
+        per_object_check_cost=C.PER_OBJECT_CHECK_COST,
+        checkpoint_cost=C.CHECKPOINT_COST,
+        op_cost=C.BASE_THOR_OP_COST,
+        commit_byte_cost=C.THOR_COMMIT_BYTE_COST,
+        seed=seed)
+    client = ThorClient(transport, "oo7", cache_bytes=OO7_CLIENT_CACHE)
+    client.start_session()
+    bench = OO7Benchmark(database, client)
+    servers = [r.state.upcalls.server for r in cluster.replicas]
+    return OO7Run(_run_traversals(bench, names, cold=servers), database,
+                  cluster=cluster)

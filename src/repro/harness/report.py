@@ -1,0 +1,61 @@
+"""Plain-text table/figure rendering for the benchmark harness.
+
+Each benchmark prints the same rows/series the paper reports, alongside
+the paper's values, so a reader can eyeball the shape agreement.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+def format_table(title: str, headers: Sequence[str],
+                 rows: Sequence[Sequence], note: str = "") -> str:
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(headers[i]), *(len(row[i]) for row in cells))
+              for i in range(len(headers))]
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.ljust(widths[i])
+                           for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(row[i].ljust(widths[i])
+                               for i in range(len(row))))
+    if note:
+        lines.append("")
+        lines.append(note)
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def overhead_pct(measured: float, baseline: float) -> float:
+    """Percentage overhead of ``measured`` relative to ``baseline``."""
+    if baseline <= 0:
+        return 0.0
+    return 100.0 * (measured - baseline) / baseline
+
+
+def shape_note(label: str, measured_pct: float, paper_pct: float) -> str:
+    return (f"{label}: measured +{measured_pct:.0f}% vs paper "
+            f"+{paper_pct:.0f}% (shape check)")
+
+
+def assert_shape(description: str, measured_pct: float, low: float,
+                 high: float) -> None:
+    """Benchmarks assert overheads land in a generous band around the
+    paper's figure — tight enough to catch a broken shape, loose enough
+    to absorb the simulator/scale substitution."""
+    assert low <= measured_pct <= high, (
+        f"{description}: overhead {measured_pct:.1f}% outside the "
+        f"expected band [{low}, {high}]%")

@@ -1,0 +1,121 @@
+"""Builders and client for the replicated web/DAV service."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple, Type
+
+from repro.base.library import BaseServiceConfig, build_base_cluster
+from repro.bft.config import BftConfig
+from repro.bft.costs import CostModel
+from repro.encoding.canonical import canonical, decanonical
+from repro.harness.cluster import Cluster
+from repro.http.engine import HttpError, HttpStatus, _BaseServer
+from repro.http.wrapper import HttpConformanceWrapper
+from repro.sim.network import Network, NetworkConfig
+from repro.sim.node import Node
+from repro.sim.scheduler import Scheduler
+
+
+class HttpClient:
+    """Minimal method-per-verb client over either deployment."""
+
+    def __init__(self, call: Callable[[bytes, bool], bytes]):
+        self._call = call
+
+    def _issue(self, *parts, read_only=False) -> tuple:
+        return decanonical(self._call(canonical(parts), read_only))
+
+    def get(self, path: str, if_none_match: str = "") -> Tuple[str, bytes]:
+        result = self._issue("GET", path, if_none_match, read_only=True)
+        if result[0] == int(HttpStatus.NOT_MODIFIED):
+            return result[1], None
+        self._raise_unless(result, HttpStatus.OK)
+        return result[1], result[2]
+
+    def put(self, path: str, body: bytes, if_match: str = "") -> str:
+        result = self._issue("PUT", path, body, if_match)
+        if result[0] not in (int(HttpStatus.CREATED),
+                             int(HttpStatus.NO_CONTENT)):
+            raise HttpError(HttpStatus(result[0]))
+        return result[1]
+
+    def delete(self, path: str) -> None:
+        self._raise_unless(self._issue("DELETE", path),
+                           HttpStatus.NO_CONTENT)
+
+    def mkcol(self, path: str) -> None:
+        self._raise_unless(self._issue("MKCOL", path), HttpStatus.CREATED)
+
+    def propfind(self, path: str):
+        result = self._issue("PROPFIND", path, read_only=True)
+        self._raise_unless(result, HttpStatus.OK)
+        return list(result[1])
+
+    @staticmethod
+    def _raise_unless(result: tuple, expected: HttpStatus) -> None:
+        if result[0] != int(expected):
+            raise HttpError(HttpStatus(result[0]))
+
+
+def build_base_http(server_classes: Sequence[Type[_BaseServer]],
+                    array_size: int = 256,
+                    config: Optional[BftConfig] = None,
+                    network_config: Optional[NetworkConfig] = None,
+                    replica_costs: Optional[List[CostModel]] = None,
+                    branching: int = 16,
+                    seed: int = 0) -> Tuple[Cluster, HttpClient]:
+    config = config or BftConfig(n=len(server_classes))
+
+    def make_factory(i: int, cls: type):
+        def factory() -> HttpConformanceWrapper:
+            kwargs = {"boot_salt": i + 1} \
+                if cls.__name__ == "ApacheLikeServer" else {}
+            return HttpConformanceWrapper(cls(**kwargs),
+                                          array_size=array_size)
+        return factory
+
+    cluster = build_base_cluster(
+        [make_factory(i, cls) for i, cls in enumerate(server_classes)],
+        config=config, base_config=BaseServiceConfig(branching=branching),
+        network_config=network_config, replica_costs=replica_costs,
+        seed=seed)
+    sync = cluster.add_client("http-client")
+
+    def call(op: bytes, read_only: bool) -> bytes:
+        return sync.call(op, read_only=read_only)
+
+    return cluster, HttpClient(call)
+
+
+class _DirectHttpServer(Node):
+    def __init__(self, node_id, network, server: _BaseServer):
+        super().__init__(node_id, network)
+        self.wrapper = HttpConformanceWrapper(server)
+
+    def on_message(self, src, msg):
+        nonce, op = msg
+        raw = self.wrapper.execute(op, src, b"")
+        self.send(src, (nonce, raw), size=64 + len(raw))
+
+
+def build_http_std(server_class: Type[_BaseServer],
+                   network_config: Optional[NetworkConfig] = None,
+                   seed: int = 0) -> Tuple[_BaseServer, HttpClient]:
+    scheduler = Scheduler()
+    network = Network(scheduler, network_config or NetworkConfig(seed=seed))
+    server = server_class()
+    _DirectHttpServer("http-server", network, server)
+    box = {}
+    counter = {"n": 0}
+    client_node = Node("http-client-node", network)
+    client_node.on_message = lambda src, msg: box.__setitem__(msg[0], msg[1])
+
+    def call(op: bytes, read_only: bool) -> bytes:
+        counter["n"] += 1
+        nonce = counter["n"]
+        client_node.send("http-server", (nonce, op), size=64 + len(op))
+        if not scheduler.run_until_idle_or(lambda: nonce in box):
+            raise TimeoutError("http server never answered")
+        return box.pop(nonce)
+
+    return server, HttpClient(call)

@@ -1,0 +1,250 @@
+"""Conformance wrapper for the web/DAV service.
+
+The common abstract specification:
+
+- every resource is one abstract object (via the §6 mapping library),
+  keyed by its path; object 0 is the collection catalog;
+- ETags are virtualized: the abstract ETag is ``"v<N>"`` where N is a
+  per-resource version counter maintained by the wrapper (the underlying
+  servers' inode- or hash-based tags never escape);
+- conditional PUT (If-Match) is decided against abstract ETags, so all
+  replicas agree;
+- PROPFIND listings are name-sorted.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.base.mappings import KeyedArrayMapping
+from repro.base.upcalls import Upcalls
+from repro.encoding.canonical import canonical, decanonical
+from repro.errors import StateTransferError
+from repro.http.engine import HttpError, HttpStatus, _BaseServer
+
+
+class HttpConformanceWrapper(Upcalls):
+    CATALOG_INDEX = 0
+
+    def __init__(self, server: _BaseServer, array_size: int = 512,
+                 per_op_cost: float = 0.0):
+        super().__init__()
+        self.server = server
+        self.array_size = array_size
+        self.per_op_cost = per_op_cost
+        self.resources: KeyedArrayMapping = KeyedArrayMapping(array_size,
+                                                              reserved=1)
+        #: path -> abstract version counter (the virtualized ETag).
+        self.versions: Dict[str, int] = {}
+        self._saved: Optional[bytes] = None
+
+    @property
+    def num_objects(self) -> int:
+        return self.array_size
+
+    @staticmethod
+    def _norm(path: str) -> str:
+        return "/" + "/".join(p for p in path.split("/") if p)
+
+    def _etag(self, path: str) -> str:
+        return f'"v{self.versions[path]}"'
+
+    # -- execute -----------------------------------------------------------------
+
+    def execute(self, op: bytes, client_id: str, nondet: bytes,
+                read_only: bool = False) -> bytes:
+        method, *args = decanonical(op)
+        if self.library is not None:
+            self.library.charge(self.per_op_cost)
+        handler = getattr(self, f"_op_{method.lower()}", None)
+        if handler is None:
+            return canonical((int(HttpStatus.METHOD_NOT_ALLOWED), method))
+        if read_only and method not in ("GET", "PROPFIND", "HEAD"):
+            return canonical((int(HttpStatus.METHOD_NOT_ALLOWED),
+                              "write on read-only path"))
+        try:
+            return canonical(handler(*args))
+        except HttpError as err:
+            # Deterministic: status only; vendor reason strings differ.
+            return canonical((int(err.status),))
+
+    def _op_get(self, path: str, if_none_match: str = "") -> tuple:
+        path = self._norm(path)
+        body, _ = self.server.get(path)
+        etag = self._etag(path)
+        if if_none_match and if_none_match == etag:
+            return (int(HttpStatus.NOT_MODIFIED), etag)
+        return (int(HttpStatus.OK), etag, body)
+
+    def _op_head(self, path: str) -> tuple:
+        path = self._norm(path)
+        self.server.get(path)
+        return (int(HttpStatus.OK), self._etag(path))
+
+    def _op_put(self, path: str, body: bytes, if_match: str = "") -> tuple:
+        path = self._norm(path)
+        if if_match:
+            if path not in self.versions or if_match != self._etag(path):
+                return (int(HttpStatus.PRECONDITION_FAILED),)
+        index = None
+        if path not in self.versions:
+            index = self.resources.reserve()
+            self._modify(index)
+        else:
+            self._modify(self.resources.index_of(path))
+        try:
+            created, _ = self.server.put(path, body)
+        except HttpError:
+            if index is not None:
+                self.resources.rollback(index)
+            raise
+        if index is not None:
+            self.resources.bind(path, index)
+            self._modify(self.CATALOG_INDEX)
+            self.versions[path] = 1
+        else:
+            self.versions[path] += 1
+        status = HttpStatus.CREATED if created else HttpStatus.NO_CONTENT
+        return (int(status), self._etag(path))
+
+    def _op_delete(self, path: str) -> tuple:
+        path = self._norm(path)
+        if path not in self.versions:
+            raise HttpError(HttpStatus.NOT_FOUND)
+        self._modify(self.resources.index_of(path))
+        self._modify(self.CATALOG_INDEX)
+        self.server.delete(path)
+        self.resources.release(path)
+        del self.versions[path]
+        return (int(HttpStatus.NO_CONTENT),)
+
+    def _op_mkcol(self, path: str) -> tuple:
+        path = self._norm(path)
+        if path in self.versions:
+            raise HttpError(HttpStatus.METHOD_NOT_ALLOWED)
+        index = self.resources.reserve()
+        self._modify(index)
+        try:
+            self.server.mkcol(path)
+        except HttpError:
+            self.resources.rollback(index)
+            raise
+        self.resources.bind(path, index)
+        self.versions[path] = 0  # collections: version 0 marks "is a col"
+        self._modify(self.CATALOG_INDEX)
+        return (int(HttpStatus.CREATED),)
+
+    def _op_propfind(self, path: str) -> tuple:
+        path = self._norm(path)
+        members = self.server.propfind(path)
+        # Abstract spec: name order, regardless of vendor order.
+        members = tuple(sorted(members))
+        return (int(HttpStatus.OK), members)
+
+    def _modify(self, index: int) -> None:
+        if self.library is not None:
+            self.library.modify(index)
+
+    # -- state conversions -----------------------------------------------------------
+
+    def get_obj(self, index: int) -> bytes:
+        if index == self.CATALOG_INDEX:
+            catalog = tuple(sorted(
+                (path, self.versions[path] == 0 and self._is_collection(path))
+                for path in self.versions))
+            return canonical(("catalog", catalog))
+        gen = self.resources.generation(index)
+        path = self.resources.key_of(index)
+        if path is None:
+            return canonical(("free", gen))
+        if self._is_collection(path):
+            return canonical(("col", gen, path))
+        body, _ = self.server.get(path)
+        return canonical(("res", gen, path, self.versions[path], body))
+
+    def _is_collection(self, path: str) -> bool:
+        try:
+            self.server.get(path)
+            return False
+        except HttpError as err:
+            return err.status == HttpStatus.METHOD_NOT_ALLOWED
+
+    def put_objs(self, objects: Dict[int, bytes]) -> None:
+        decoded = {i: decanonical(blob) for i, blob in objects.items()}
+        # Collections before plain resources (parents first by depth).
+        cols = sorted((obj for obj in decoded.values()
+                       if obj[0] == "col"),
+                      key=lambda o: o[2].count("/"))
+        for _, gen, path in cols:
+            if path not in self.versions:
+                try:
+                    self.server.mkcol(path)
+                except HttpError:
+                    pass
+        for index in sorted(decoded):
+            obj = decoded[index]
+            kind = obj[0]
+            if index == self.CATALOG_INDEX:
+                continue
+            if kind == "free":
+                self._put_free(index, obj[1])
+            elif kind == "col":
+                self._put_col(index, obj[1], obj[2])
+            else:
+                self._put_res(index, obj)
+        if self.CATALOG_INDEX in decoded:
+            self._prune_to_catalog(decoded[self.CATALOG_INDEX])
+
+    def _put_free(self, index: int, gen: int) -> None:
+        path = self.resources.key_of(index)
+        if path is not None:
+            try:
+                self.server.delete(path)
+            except HttpError:
+                pass
+            self.versions.pop(path, None)
+        self.resources.install(None, index, gen)
+
+    def _put_col(self, index: int, gen: int, path: str) -> None:
+        old = self.resources.key_of(index)
+        if old is not None and old != path:
+            self._put_free(index, gen)
+        self.resources.install(path, index, gen)
+        self.versions[path] = 0
+
+    def _put_res(self, index: int, obj: tuple) -> None:
+        _, gen, path, version, body = obj
+        old = self.resources.key_of(index)
+        if old is not None and old != path:
+            self._put_free(index, gen)
+        self.server.put(path, body)
+        self.resources.install(path, index, gen)
+        self.versions[path] = version
+
+    def _prune_to_catalog(self, catalog_obj: tuple) -> None:
+        """Remove local paths absent from the transferred catalog."""
+        _, catalog = catalog_obj
+        wanted = {path for path, _ in catalog}
+        for path in sorted(self.versions, key=lambda p: -p.count("/")):
+            if path not in wanted:
+                try:
+                    self.server.delete(path)
+                except HttpError:
+                    pass
+                self.resources.release(path)
+                del self.versions[path]
+
+    # -- recovery -----------------------------------------------------------------------
+
+    def shutdown(self) -> float:
+        self._saved = canonical((self.resources.save(),
+                                 tuple(sorted(self.versions.items()))))
+        return 1e-8 * len(self._saved)
+
+    def restart(self) -> float:
+        if self._saved is None:
+            return 0.0
+        mapping_blob, versions = decanonical(self._saved)
+        self.resources = KeyedArrayMapping.load(mapping_blob)
+        self.versions = dict(versions)
+        return 1e-8 * len(self._saved)

@@ -1,0 +1,48 @@
+"""Off-the-shelf NFS server implementations (simulated).
+
+Each backend is an in-memory NFS server with a deliberately distinct
+concrete behaviour, standing in for the four operating systems of the
+paper's heterogeneous setup:
+
+==================  =============================================================
+Backend             Quirks
+==================  =============================================================
+LinuxExt2Backend    8-byte (ino, gen) handles; insertion-order readdir;
+                    1-second timestamp granularity; *unstable* writes (does
+                    not sync before replying — the paper calls this out as
+                    why Linux is fastest and non-compliant)
+SolarisUfsBackend   16-byte (fsid, ino, gen) handles; name-hash readdir
+                    order; microsecond timestamps; synchronous writes
+OpenBsdFfsBackend   12-byte handles; *reverse* insertion readdir order;
+                    synchronous writes; slowest cost profile
+FreeBsdUfsBackend   16-byte handles containing a per-boot random salt, so
+                    handles are nondeterministic across replicas and
+                    reboots; fileid-sorted readdir; synchronous writes
+==================  =============================================================
+
+The conformance wrapper must mask every one of these differences to make
+replicas behave per the common abstract specification.
+"""
+
+from repro.nfs.backends.core import CostProfile, Inode, MemoryFilesystem
+from repro.nfs.backends.vendors import (
+    ALL_BACKENDS,
+    FreeBsdUfsBackend,
+    LinuxExt2Backend,
+    OpenBsdFfsBackend,
+    SolarisUfsBackend,
+)
+from repro.nfs.backends.faulty import CorruptingBackend, LeakyBackend
+
+__all__ = [
+    "ALL_BACKENDS",
+    "CorruptingBackend",
+    "CostProfile",
+    "FreeBsdUfsBackend",
+    "Inode",
+    "LeakyBackend",
+    "LinuxExt2Backend",
+    "MemoryFilesystem",
+    "OpenBsdFfsBackend",
+    "SolarisUfsBackend",
+]

@@ -1,0 +1,141 @@
+"""The four vendor backends (see package docstring for the quirk table)."""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import struct
+from typing import List, Tuple
+
+from repro.nfs.backends.core import Inode, MemoryFilesystem
+
+
+class LinuxExt2Backend(MemoryFilesystem):
+    """Linux/Ext2fs stand-in.
+
+    Fastest profile and *unstable writes*: the real Linux NFSv2 server of
+    the era replied before syncing, which the paper notes makes it both
+    the fastest replica and non-compliant.  Insertion-order readdir;
+    1-second timestamps; compact 8-byte file handles.
+    """
+
+    vendor = "linux-ext2"
+    fsid = 0x0801
+    time_granularity_us = 1_000_000
+    stable_writes = False
+
+    def fh_encode(self, ino: int, gen: int) -> bytes:
+        return struct.pack(">II", ino, gen)
+
+    def fh_decode(self, fh: bytes) -> Tuple[int, int]:
+        if len(fh) != 8:
+            raise ValueError(f"ext2 handle is 8 bytes, got {len(fh)}")
+        return struct.unpack(">II", fh)
+
+
+class SolarisUfsBackend(MemoryFilesystem):
+    """Solaris/UFS stand-in: 16-byte handles embedding fsid, name-hash
+    directory order, synchronous writes."""
+
+    vendor = "solaris-ufs"
+    fsid = 0x5350
+    time_granularity_us = 1
+    stable_writes = True
+
+    def fh_encode(self, ino: int, gen: int) -> bytes:
+        return struct.pack(">IIII", self.fsid, ino, gen, 0)
+
+    def fh_decode(self, fh: bytes) -> Tuple[int, int]:
+        if len(fh) != 16:
+            raise ValueError(f"ufs handle is 16 bytes, got {len(fh)}")
+        fsid, ino, gen, _ = struct.unpack(">IIII", fh)
+        if fsid != self.fsid:
+            raise ValueError(f"foreign fsid {fsid:#x}")
+        return ino, gen
+
+    def readdir_order(self, entries: List[Tuple[str, int]],
+                      directory: Inode) -> List[Tuple[str, int]]:
+        def name_hash(entry):
+            return hashlib.md5(entry[0].encode("utf-8")).digest()
+        return sorted(entries, key=name_hash)
+
+
+class OpenBsdFfsBackend(MemoryFilesystem):
+    """OpenBSD/FFS stand-in: 12-byte handles, reverse-insertion readdir,
+    synchronous writes, and the slowest cost profile in the paper's
+    heterogeneous run."""
+
+    vendor = "openbsd-ffs"
+    fsid = 0x0B5D
+    time_granularity_us = 1
+    stable_writes = True
+
+    def fh_encode(self, ino: int, gen: int) -> bytes:
+        return struct.pack(">IHHI", ino, gen & 0xFFFF, (gen >> 16) & 0xFFFF,
+                           self.fsid)
+
+    def fh_decode(self, fh: bytes) -> Tuple[int, int]:
+        if len(fh) != 12:
+            raise ValueError(f"ffs handle is 12 bytes, got {len(fh)}")
+        ino, gen_lo, gen_hi, fsid = struct.unpack(">IHHI", fh)
+        if fsid != self.fsid:
+            raise ValueError(f"foreign fsid {fsid:#x}")
+        return ino, gen_lo | (gen_hi << 16)
+
+    def readdir_order(self, entries: List[Tuple[str, int]],
+                      directory: Inode) -> List[Tuple[str, int]]:
+        return list(reversed(entries))
+
+
+class FreeBsdUfsBackend(MemoryFilesystem):
+    """FreeBSD/UFS stand-in: per-boot random generation salt makes file
+    handles *nondeterministic* — they differ across replicas and across
+    reboots of the same replica, exactly the behaviour the NFS spec
+    permits ("implementations may choose file handles arbitrarily") that
+    breaks naive state-machine replication."""
+
+    vendor = "freebsd-ufs"
+    fsid = 0xFB5D
+    time_granularity_us = 1
+    stable_writes = True
+
+    def __init__(self, clock=None, profile=None, boot_salt: int = 0):
+        self._rng = random.Random(boot_salt)
+        self.boot_salt = boot_salt
+        super().__init__(clock=clock, profile=profile)
+
+    def _generation(self, ino: int) -> int:
+        return self._rng.randrange(1, 2**31)
+
+    def reboot_salt(self, salt: int) -> None:
+        """Simulate a reboot: future allocations use a fresh salt."""
+        self._rng = random.Random(salt)
+        self.boot_salt = salt
+
+    def server_restart(self) -> None:
+        """FreeBSD-style restart: every inode's generation is re-salted,
+        so *all previously issued file handles become stale*."""
+        self.reboot_salt(self.boot_salt + 1)
+        for inode in self._inodes.values():
+            inode.gen = self._rng.randrange(1, 2**31)
+
+    def fh_encode(self, ino: int, gen: int) -> bytes:
+        return struct.pack(">IIII", self.fsid, gen, ino, 0xBEEF)
+
+    def fh_decode(self, fh: bytes) -> Tuple[int, int]:
+        if len(fh) != 16:
+            raise ValueError(f"ufs handle is 16 bytes, got {len(fh)}")
+        fsid, gen, ino, magic = struct.unpack(">IIII", fh)
+        if fsid != self.fsid or magic != 0xBEEF:
+            raise ValueError("foreign handle")
+        return ino, gen
+
+    def readdir_order(self, entries: List[Tuple[str, int]],
+                      directory: Inode) -> List[Tuple[str, int]]:
+        return sorted(entries, key=lambda entry: entry[1])
+
+
+#: The heterogeneous lineup used by Table V, in replica order
+#: (Linux primary first, as in the paper's experiment).
+ALL_BACKENDS = (LinuxExt2Backend, SolarisUfsBackend, OpenBsdFfsBackend,
+                FreeBsdUfsBackend)

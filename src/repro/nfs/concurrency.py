@@ -1,0 +1,113 @@
+"""Conformance-wrapper concurrency control (paper §2.4, "Concurrency").
+
+The prototype wrappers issue read-write requests one at a time; the
+paper observes that a wrapper can safely overlap *non-conflicting*
+requests by "determining which requests conflict and by not issuing a
+request to the service if it conflicts with a request that has a smaller
+sequence number and has not yet completed", and that this is easy for
+file systems (it is hard for, say, arbitrary SQL — there the wrapper
+must conservatively serialize, as ours does).
+
+This module implements the file-system conflict analysis: the set of
+abstract objects an NFS operation reads and writes, derivable *before*
+execution from the request alone (handles encode array indices; only
+CREATE-class operations touch an allocation-dependent index, which is
+modelled as a conflict on the allocator itself).  The scheduler below
+partitions a batch into waves of mutually non-conflicting requests — the
+executable artifact of the paper's suggestion, used by the ablation
+bench to quantify how much serialization costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Set, Tuple
+
+from repro.encoding.canonical import decanonical
+from repro.errors import EncodingError
+from repro.nfs.spec import oid_parse
+
+#: Pseudo-object representing the entry allocator: operations that assign
+#: or free array entries conflict with each other through it.
+ALLOCATOR = -1
+
+
+@dataclass(frozen=True)
+class AccessSet:
+    """Abstract objects an operation reads and writes."""
+
+    reads: frozenset
+    writes: frozenset
+
+    def conflicts_with(self, other: "AccessSet") -> bool:
+        return bool(self.writes & other.writes
+                    or self.writes & other.reads
+                    or self.reads & other.writes)
+
+
+def _index(fh: bytes) -> int:
+    return oid_parse(fh)[0]
+
+
+def access_set(op: bytes) -> AccessSet:
+    """Conflict footprint of one NFS request (conservative on parse
+    failure: conflicts with everything)."""
+    try:
+        proc, *args = decanonical(op)
+        if proc in ("getattr", "readlink", "read", "statfs"):
+            return AccessSet(frozenset({_index(args[0])}), frozenset())
+        if proc == "readdir":
+            return AccessSet(frozenset({_index(args[0])}), frozenset())
+        if proc == "lookup":
+            # Reads the directory; the child's attrs are read through the
+            # directory's mapping, so the directory index suffices.
+            return AccessSet(frozenset({_index(args[0])}), frozenset())
+        if proc in ("setattr", "write"):
+            return AccessSet(frozenset(), frozenset({_index(args[0])}))
+        if proc in ("create", "mkdir", "symlink"):
+            # Writes the directory and an allocator-chosen entry.
+            return AccessSet(frozenset(),
+                             frozenset({_index(args[0]), ALLOCATOR}))
+        if proc in ("remove", "rmdir"):
+            return AccessSet(frozenset(),
+                             frozenset({_index(args[0]), ALLOCATOR}))
+        if proc == "rename":
+            return AccessSet(frozenset(),
+                             frozenset({_index(args[0]), _index(args[2]),
+                                        ALLOCATOR}))
+    except (EncodingError, IndexError, TypeError, ValueError):
+        pass
+    # Unknown or malformed: serialize against everything.
+    everything = frozenset({ALLOCATOR, "*"})
+    return AccessSet(everything, everything)
+
+
+def schedule_waves(ops: Sequence[bytes]) -> List[List[int]]:
+    """Partition a batch into waves of mutually non-conflicting requests.
+
+    Requests within a wave could execute concurrently; waves execute in
+    order, and a request never jumps ahead of a conflicting predecessor
+    (preserving the sequence-number serialization the spec demands).
+    """
+    footprints = [access_set(op) for op in ops]
+    waves: List[List[int]] = []
+    placed: List[Tuple[int, AccessSet]] = []  # (wave index, footprint)
+    for i, footprint in enumerate(footprints):
+        # The earliest wave after every conflicting predecessor's wave.
+        earliest = 0
+        for j, (wave_index, prior) in enumerate(placed):
+            if prior.conflicts_with(footprint):
+                earliest = max(earliest, wave_index + 1)
+        if earliest == len(waves):
+            waves.append([])
+        waves[earliest].append(i)
+        placed.append((earliest, footprint))
+    return waves
+
+
+def concurrent_speedup(ops: Sequence[bytes]) -> float:
+    """Idealized speedup of wave-parallel execution over serial (assuming
+    unit cost per op): len(ops) / number_of_waves."""
+    if not ops:
+        return 1.0
+    return len(ops) / len(schedule_waves(ops))

@@ -1,0 +1,235 @@
+"""Inverse abstraction function for the file service (paper Figure 5).
+
+``put_objs`` receives a vector of abstract objects that together bring
+the abstract state to a consistent checkpoint value.  The engine updates
+the concrete file system to match:
+
+- free entries just update the conformance representation (their backend
+  object disappears when the parent directory is processed — the paper
+  notes the parent must have changed too);
+- files and symlinks first ensure their parent directory has been
+  reconstructed (``update_directory``), then write their data/meta;
+- directories recurse to their parent, then reconcile their backend
+  contents against the new entry list: stale names are removed
+  (recursively), renamed-in-place oids are renamed, and missing entries
+  are created.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.errors import StateTransferError
+from repro.nfs.protocol import FileType, NfsError, Sattr
+from repro.nfs.spec import AbstractObject
+
+
+class InverseConversion:
+    """One ``put_objs`` invocation over a decoded object vector."""
+
+    def __init__(self, wrapper, objects: Dict[int, AbstractObject]):
+        self.wrapper = wrapper
+        self.rep = wrapper.rep
+        self.backend = wrapper.backend
+        self.objects = objects
+        self.updated: Set[int] = set()
+
+    def run(self) -> None:
+        # Free entries first, so stale reverse-map entries never shadow
+        # the rebuild of live directories.
+        for index in sorted(self.objects):
+            if self.objects[index].is_free:
+                self._free_entry(index)
+        for index in sorted(self.objects):
+            obj = self.objects[index]
+            if obj.is_free:
+                continue
+            if obj.ftype == FileType.NFDIR:
+                self.update_directory(index)
+            else:
+                self.update_directory(obj.meta.parent)
+                self._update_leaf(index, obj)
+        # Directory meta/conformance updates happen inside
+        # update_directory; leaves inside _update_leaf.
+
+    # -- free entries ---------------------------------------------------------
+
+    def _free_entry(self, index: int) -> None:
+        obj = self.objects[index]
+        self.rep.free(index)
+        self.rep.entry(index).gen = obj.gen
+
+    # -- directories --------------------------------------------------------------
+
+    def update_directory(self, index: int) -> None:
+        obj = self.objects.get(index)
+        if index in self.updated or obj is None:
+            return
+        if obj.ftype != FileType.NFDIR:
+            raise StateTransferError(
+                f"object {index} expected directory, got {obj.ftype}")
+        self.updated.add(index)
+        if obj.meta.parent != index:
+            self.update_directory(obj.meta.parent)
+
+        entry = self.rep.entry(index)
+        if entry.fh is None or entry.is_free:
+            raise StateTransferError(
+                f"directory {index} has no backend object after parent "
+                f"reconstruction — inconsistent transfer vector")
+        dir_fh = entry.fh
+
+        new_by_name = {name: (cidx, cgen) for name, cidx, cgen in obj.entries}
+        current = list(self.backend.readdir(dir_fh))
+        self.wrapper._charge_backend("readdir", 32 * len(current))
+        current_oid = {}
+        for name, fileid in current:
+            current_oid[name] = self.rep.fileid_to_index.get(fileid)
+
+        # Classify: removals, renames-in-place, additions.
+        new_index_to_name = {cidx: name for name, (cidx, _) in
+                             new_by_name.items()}
+        renames = []   # (old_name, new_name)
+        removals = []
+        for name, mapped in current_oid.items():
+            # Keep only if the name maps to the same oid — index AND
+            # generation: a bumped generation means the entry was freed
+            # and reassigned (possibly as a different type or with new
+            # content), so the backend object must be recreated.
+            keep = (name in new_by_name and mapped is not None
+                    and new_by_name[name][0] == mapped
+                    and new_by_name[name][1] == self.rep.entry(mapped).gen)
+            if keep:
+                continue
+            if (mapped is not None and mapped in new_index_to_name
+                    and mapped not in self.objects):
+                # Same object, new name, object itself unchanged: a rename
+                # in place — preserve its backend data.
+                renames.append((name, new_index_to_name[mapped]))
+            else:
+                removals.append(name)
+        for name in removals:
+            self._remove_recursive(dir_fh, name)
+        for old_name, new_name in renames:
+            self._rename_safe(dir_fh, old_name, new_name)
+
+        present = set()
+        for name, fileid in self.backend.readdir(dir_fh):
+            mapped = self.rep.fileid_to_index.get(fileid)
+            if name in new_by_name and mapped == new_by_name[name][0]:
+                present.add(name)
+        for name, (cidx, cgen) in sorted(new_by_name.items()):
+            if name not in present:
+                self._create_child(index, dir_fh, name, cidx, cgen)
+
+        # Apply the directory's own meta.
+        self.backend.setattr(dir_fh, Sattr(mode=obj.meta.mode,
+                                           uid=obj.meta.uid,
+                                           gid=obj.meta.gid))
+        self.wrapper._charge_backend("setattr")
+        entry.gen = obj.gen
+        entry.parent = obj.meta.parent
+        entry.atime = obj.meta.atime
+        entry.mtime = obj.meta.mtime
+        entry.ctime = obj.meta.ctime
+        self.rep.update_size(index, obj.abstract_size())
+
+    def _rename_safe(self, dir_fh: bytes, old_name: str,
+                     new_name: str) -> None:
+        """Rename within a directory, detouring via a temporary name if
+        the target is (still) occupied by another pending rename source."""
+        try:
+            self.backend.lookup(dir_fh, new_name)
+            occupied = True
+        except NfsError:
+            occupied = False
+        if occupied:
+            temp = f".base-tmp-{old_name}"
+            self.backend.rename(dir_fh, old_name, dir_fh, temp)
+            old_name = temp
+        self.backend.rename(dir_fh, old_name, dir_fh, new_name)
+        self.wrapper._charge_backend("rename")
+
+    def _remove_recursive(self, dir_fh: bytes, name: str) -> None:
+        fh, fattr = self.backend.lookup(dir_fh, name)
+        if fattr.ftype == FileType.NFDIR:
+            for child_name, _ in list(self.backend.readdir(fh)):
+                self._remove_recursive(fh, child_name)
+            self.backend.rmdir(dir_fh, name)
+            self.wrapper._charge_backend("rmdir")
+        else:
+            self.backend.remove(dir_fh, name)
+            self.wrapper._charge_backend("remove")
+        # The object's conformance entry is updated by its own null/changed
+        # object in the vector; only the reverse maps need scrubbing here.
+        mapped = self.rep.fileid_to_index.get(fattr.fileid)
+        if mapped is not None and self.rep.entry(mapped).fileid == fattr.fileid:
+            stale = self.rep.entry(mapped)
+            if stale.fh is not None:
+                self.rep.fh_to_index.pop(stale.fh, None)
+                stale.fh = None
+            self.rep.fileid_to_index.pop(fattr.fileid, None)
+            stale.fileid = None
+
+    def _create_child(self, dir_index: int, dir_fh: bytes, name: str,
+                      cidx: int, cgen: int) -> None:
+        child_obj = self.objects.get(cidx)
+        if child_obj is None:
+            raise StateTransferError(
+                f"directory {dir_index} references object {cidx} ({name!r}) "
+                f"absent from the transfer vector")
+        sattr = Sattr(mode=child_obj.meta.mode, uid=child_obj.meta.uid,
+                      gid=child_obj.meta.gid)
+        if child_obj.ftype == FileType.NFREG:
+            fh, fattr = self.backend.create(dir_fh, name, sattr)
+            self.wrapper._charge_backend("create")
+        elif child_obj.ftype == FileType.NFDIR:
+            fh, fattr = self.backend.mkdir(dir_fh, name, sattr)
+            self.wrapper._charge_backend("mkdir")
+        elif child_obj.ftype == FileType.NFLNK:
+            fh, fattr = self.backend.symlink(dir_fh, name, child_obj.target,
+                                             sattr)
+            self.wrapper._charge_backend("symlink")
+        else:
+            raise StateTransferError(f"cannot create type {child_obj.ftype}")
+        entry = self.rep.entry(cidx)
+        if not entry.is_free and entry.fh is not None:
+            self.rep.fh_to_index.pop(entry.fh, None)
+        if entry.fileid is not None:
+            self.rep.fileid_to_index.pop(entry.fileid, None)
+        entry.ftype = child_obj.ftype
+        entry.gen = cgen
+        entry.fh = fh
+        entry.fileid = fattr.fileid
+        entry.parent = dir_index
+        self.rep.fh_to_index[fh] = cidx
+        self.rep.fileid_to_index[fattr.fileid] = cidx
+
+    # -- files and symlinks ----------------------------------------------------------
+
+    def _update_leaf(self, index: int, obj: AbstractObject) -> None:
+        entry = self.rep.entry(index)
+        if entry.fh is None or entry.is_free:
+            raise StateTransferError(
+                f"leaf {index} has no backend object after parent "
+                f"reconstruction")
+        if obj.ftype == FileType.NFREG:
+            self.backend.setattr(entry.fh, Sattr(mode=obj.meta.mode,
+                                                 uid=obj.meta.uid,
+                                                 gid=obj.meta.gid,
+                                                 size=len(obj.data)))
+            self.wrapper._charge_backend("setattr")
+            if obj.data:
+                self.backend.write(entry.fh, 0, obj.data)
+                self.wrapper._charge_backend("write", len(obj.data))
+        else:
+            self.backend.setattr(entry.fh, Sattr(mode=obj.meta.mode,
+                                                 uid=obj.meta.uid,
+                                                 gid=obj.meta.gid))
+            self.wrapper._charge_backend("setattr")
+        entry.gen = obj.gen
+        entry.parent = obj.meta.parent
+        entry.atime = obj.meta.atime
+        entry.mtime = obj.meta.mtime
+        entry.ctime = obj.meta.ctime
+        self.rep.update_size(index, obj.abstract_size())

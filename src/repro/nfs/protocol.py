@@ -1,0 +1,167 @@
+"""NFS version 2 protocol surface (RFC 1094 subset).
+
+Both the conformance wrapper (client-facing, abstract) and the backends
+(server-facing, concrete) speak in these terms.  Operations travel as
+canonical-encoded tuples; results as ``(status, payload...)`` tuples.
+
+Hard links (LINK) are intentionally outside the common abstract
+specification: the abstract state keeps a single parent index per object
+(paper §3.1.1), which a multi-parent object would violate.  The wrapper
+answers LINK with NFSERR_PERM; no phase of the Andrew benchmark needs it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+from repro.errors import ServiceError
+
+
+class NfsStatus(enum.IntEnum):
+    """NFSv2 status codes (RFC 1094 §2.2.6, the ones this service uses)."""
+
+    NFS_OK = 0
+    NFSERR_PERM = 1
+    NFSERR_NOENT = 2
+    NFSERR_IO = 5
+    NFSERR_EXIST = 17
+    NFSERR_NOTDIR = 20
+    NFSERR_ISDIR = 21
+    NFSERR_FBIG = 27
+    NFSERR_NOSPC = 28
+    NFSERR_ROFS = 30
+    NFSERR_NAMETOOLONG = 63
+    NFSERR_NOTEMPTY = 66
+    NFSERR_DQUOT = 69
+    NFSERR_STALE = 70
+
+
+class NfsError(ServiceError):
+    """Raised by backends and the wrapper; carries an :class:`NfsStatus`."""
+
+    def __init__(self, status: NfsStatus, detail: str = ""):
+        super().__init__(f"{status.name}{': ' + detail if detail else ''}")
+        self.status = status
+
+
+class FileType(enum.IntEnum):
+    """NFSv2 ftype."""
+
+    NFNON = 0   # the free/null abstract object
+    NFREG = 1
+    NFDIR = 2
+    NFLNK = 5
+
+
+class NfsProc(enum.Enum):
+    """Protocol procedures (names double as wire op tags)."""
+
+    GETATTR = "getattr"
+    SETATTR = "setattr"
+    LOOKUP = "lookup"
+    READLINK = "readlink"
+    READ = "read"
+    WRITE = "write"
+    CREATE = "create"
+    REMOVE = "remove"
+    RENAME = "rename"
+    LINK = "link"
+    SYMLINK = "symlink"
+    MKDIR = "mkdir"
+    RMDIR = "rmdir"
+    READDIR = "readdir"
+    STATFS = "statfs"
+
+
+#: Procedures that do not modify state (eligible for BFT's read-only path).
+READ_ONLY_PROCS = frozenset({
+    NfsProc.GETATTR, NfsProc.LOOKUP, NfsProc.READLINK, NfsProc.READ,
+    NfsProc.READDIR, NfsProc.STATFS,
+})
+
+
+@dataclass(frozen=True)
+class Fattr:
+    """NFSv2 fattr.  Times are in integer microseconds.
+
+    In the *abstract* view: ``fsid`` is always 0, ``fileid`` is the
+    abstract array index, times are the agreed (nondeterministic-value)
+    timestamps, and ``blocks`` is derived as ``ceil(size / 512)`` so every
+    backend yields identical abstract attributes.
+    """
+
+    ftype: FileType
+    mode: int
+    nlink: int
+    uid: int
+    gid: int
+    size: int
+    fsid: int
+    fileid: int
+    atime: int
+    mtime: int
+    ctime: int
+    rdev: int = 0
+
+    @property
+    def blocks(self) -> int:
+        return (self.size + 511) // 512
+
+    def encode(self) -> tuple:
+        return (int(self.ftype), self.mode, self.nlink, self.uid, self.gid,
+                self.size, self.fsid, self.fileid, self.atime, self.mtime,
+                self.ctime, self.rdev)
+
+    @classmethod
+    def decode(cls, fields: tuple) -> "Fattr":
+        (ftype, mode, nlink, uid, gid, size, fsid, fileid,
+         atime, mtime, ctime, rdev) = fields
+        return cls(FileType(ftype), mode, nlink, uid, gid, size, fsid,
+                   fileid, atime, mtime, ctime, rdev)
+
+    def with_times(self, atime: int = None, mtime: int = None,
+                   ctime: int = None) -> "Fattr":
+        return replace(self,
+                       atime=self.atime if atime is None else atime,
+                       mtime=self.mtime if mtime is None else mtime,
+                       ctime=self.ctime if ctime is None else ctime)
+
+
+@dataclass(frozen=True)
+class Sattr:
+    """Settable attributes (NFSv2 sattr); -1 means "don't change"."""
+
+    mode: int = -1
+    uid: int = -1
+    gid: int = -1
+    size: int = -1
+    atime: int = -1
+    mtime: int = -1
+
+    def encode(self) -> tuple:
+        return (self.mode, self.uid, self.gid, self.size, self.atime,
+                self.mtime)
+
+    @classmethod
+    def decode(cls, fields: tuple) -> "Sattr":
+        return cls(*fields)
+
+
+@dataclass(frozen=True)
+class StatfsResult:
+    """NFSv2 statfs reply body."""
+
+    tsize: int      # preferred transfer size
+    bsize: int      # block size
+    blocks: int     # total blocks
+    bfree: int      # free blocks
+    bavail: int     # blocks available to non-privileged users
+
+    def encode(self) -> tuple:
+        return (self.tsize, self.bsize, self.blocks, self.bfree, self.bavail)
+
+    @classmethod
+    def decode(cls, fields: tuple) -> "StatfsResult":
+        return cls(*fields)

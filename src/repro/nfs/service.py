@@ -1,0 +1,277 @@
+"""Service builders and transports for the file service.
+
+Two deployments, matching the paper's evaluation:
+
+- **BASEFS** — four replicas, each wrapping a backend with the
+  conformance wrapper, behind the BASE library;
+- **NFS-std** — one unreplicated backend behind a plain request/response
+  server node (the baseline every table compares against).
+
+Both expose the same :class:`NfsTransport` so the simulated NFS client
+and the Andrew benchmark are oblivious to which they are driving.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple, Type
+
+from repro.bft.client import SyncClient
+from repro.bft.config import BftConfig
+from repro.bft.costs import CostModel, ZERO_COSTS
+from repro.base.library import BaseServiceConfig, build_base_cluster
+from repro.encoding.canonical import canonical, decanonical
+from repro.harness.cluster import Cluster
+from repro.nfs.backends.core import CostProfile, MemoryFilesystem
+from repro.nfs.protocol import NfsError, NfsProc, NfsStatus, READ_ONLY_PROCS
+from repro.nfs.spec import AbstractSpecConfig
+from repro.nfs.wrapper import NfsConformanceWrapper
+from repro.sim.network import Network, NetworkConfig
+from repro.sim.node import Node
+from repro.sim.scheduler import Scheduler
+
+
+class NfsTransport:
+    """How a client reaches a file service: issue one NFS procedure."""
+
+    def call(self, proc: NfsProc, *args, read_only: bool = False) -> tuple:
+        raise NotImplementedError
+
+    def root_fh(self) -> bytes:
+        """The mount handle."""
+        raise NotImplementedError
+
+    def charge(self, seconds: float) -> None:
+        """Burn client-machine CPU (workload think time)."""
+        raise NotImplementedError
+
+    @property
+    def now(self) -> float:
+        raise NotImplementedError
+
+
+class BaseFsTransport(NfsTransport):
+    """Client side of BASEFS: procedures ride the BASE invoke path."""
+
+    def __init__(self, sync_client: SyncClient):
+        self.sync_client = sync_client
+
+    def call(self, proc: NfsProc, *args, read_only: bool = False) -> tuple:
+        op = canonical((proc.value,) + args)
+        raw = self.sync_client.call(op, read_only=read_only
+                                    and proc in READ_ONLY_PROCS)
+        result = decanonical(raw)
+        status = result[0]
+        if status != 0:
+            raise NfsError(NfsStatus(status))
+        return result[1:]
+
+    def root_fh(self) -> bytes:
+        from repro.nfs.spec import ROOT_OID
+        return ROOT_OID
+
+    def charge(self, seconds: float) -> None:
+        self.sync_client.client.charge(seconds)
+
+    @property
+    def now(self) -> float:
+        return self.sync_client.now
+
+
+class _DirectServer(Node):
+    """Unreplicated NFS server node (the NFS-std baseline)."""
+
+    def __init__(self, node_id, network, backend: MemoryFilesystem):
+        super().__init__(node_id, network)
+        self.backend = backend
+
+    def on_message(self, src, msg):
+        nonce, op = msg
+        proc_name, *args = decanonical(op)
+        try:
+            handler = getattr(self.backend, proc_name)
+            payload = handler(*self._decode_args(proc_name, args))
+            result = (0,) + self._encode_payload(proc_name, payload)
+        except NfsError as err:
+            result = (int(err.status),)
+        nbytes = self._data_bytes(proc_name, args, result)
+        self.charge(self.backend.cost(proc_name, nbytes))
+        self.send(src, (nonce, canonical(result)),
+                  size=64 + _payload_size(result))
+
+    @staticmethod
+    def _decode_args(proc_name: str, args: list):
+        from repro.nfs.protocol import Sattr
+        decoded = []
+        for arg in args:
+            if (isinstance(arg, tuple) and len(arg) == 6
+                    and proc_name in ("setattr", "create", "mkdir",
+                                      "symlink")):
+                decoded.append(Sattr.decode(arg))
+            else:
+                decoded.append(arg)
+        return decoded
+
+    @staticmethod
+    def _encode_payload(proc_name: str, payload) -> tuple:
+        if payload is None:
+            return ()
+        if proc_name in ("getattr", "setattr", "write"):
+            return (payload.encode(),)
+        if proc_name in ("lookup", "create", "mkdir", "symlink"):
+            fh, fattr = payload
+            return (fh, fattr.encode())
+        if proc_name == "read":
+            data, fattr = payload
+            return (data, fattr.encode())
+        if proc_name == "readdir":
+            return (tuple((name, fileid) for name, fileid in payload),)
+        if proc_name == "readlink":
+            return (payload,)
+        if proc_name == "statfs":
+            return (payload.encode(),)
+        if proc_name == "mount":
+            return (payload,)
+        return (payload,)
+
+    @staticmethod
+    def _data_bytes(proc_name: str, args: list, result: tuple) -> int:
+        if proc_name == "write" and len(args) >= 3:
+            return len(args[2])
+        if proc_name == "read" and len(result) > 1:
+            return len(result[1])
+        return 0
+
+
+class DirectTransport(NfsTransport):
+    """Client node talking straight to a :class:`_DirectServer`.
+
+    Drives the scheduler synchronously, exactly like
+    :class:`~repro.bft.client.SyncClient` does for the replicated path, so
+    elapsed simulated time is comparable.
+    """
+
+    def __init__(self, scheduler: Scheduler, network: Network,
+                 server_id: str, client_id: str = "nfs-client"):
+        self.scheduler = scheduler
+        self.network = network
+        self.server_id = server_id
+        self._nonce = 0
+        self._box = {}
+        self._node = Node(client_id, network)
+        self._node.on_message = self._on_message  # type: ignore
+
+    def _on_message(self, src, msg):
+        nonce, raw = msg
+        self._box[nonce] = raw
+
+    def call(self, proc: NfsProc, *args, read_only: bool = False) -> tuple:
+        self._nonce += 1
+        nonce = self._nonce
+        op = canonical((proc.value,) + args)
+        self._node.send(self.server_id, (nonce, op), size=64 + len(op))
+        ok = self.scheduler.run_until_idle_or(lambda: nonce in self._box)
+        if not ok:
+            raise TimeoutError(f"NFS-std call {proc.value} never answered")
+        result = decanonical(self._box.pop(nonce))
+        if result[0] != 0:
+            raise NfsError(NfsStatus(result[0]))
+        return result[1:]
+
+    def root_fh(self) -> bytes:
+        self._nonce += 1
+        nonce = self._nonce
+        op = canonical(("mount",))
+        self._node.send(self.server_id, (nonce, op))
+        self.scheduler.run_until_idle_or(lambda: nonce in self._box)
+        result = decanonical(self._box.pop(nonce))
+        return result[1]
+
+    def charge(self, seconds: float) -> None:
+        self._node.charge(seconds)
+
+    @property
+    def now(self) -> float:
+        return self.scheduler.now
+
+
+def _payload_size(result: tuple) -> int:
+    total = 0
+    for item in result:
+        if isinstance(item, (bytes, str)):
+            total += len(item)
+        elif isinstance(item, tuple):
+            total += _payload_size(item)
+        else:
+            total += 8
+    return total
+
+
+# -- builders ----------------------------------------------------------------------
+
+
+def build_basefs(backend_classes: Sequence[Type[MemoryFilesystem]],
+                 spec: Optional[AbstractSpecConfig] = None,
+                 config: Optional[BftConfig] = None,
+                 profiles: Optional[Sequence[CostProfile]] = None,
+                 replica_costs: Optional[List[CostModel]] = None,
+                 network_config: Optional[NetworkConfig] = None,
+                 client_id: str = "nfs-client",
+                 branching: int = 64,
+                 per_object_check_cost: float = 0.0,
+                 checkpoint_cost: float = 0.0,
+                 seed: int = 0) -> Tuple[Cluster, BaseFsTransport]:
+    """Build a BASEFS deployment.
+
+    ``backend_classes`` has one entry per replica — all the same class for
+    the homogeneous setup (Tables I–III), one per OS for the heterogeneous
+    setup (Table V).
+    """
+    spec = spec or AbstractSpecConfig()
+    config = config or BftConfig(n=len(backend_classes))
+    clock_box = {}
+
+    def sim_clock() -> float:
+        # Wrapper factories run while the cluster is still being built;
+        # until then the simulation clock reads zero.
+        cluster = clock_box.get("cluster")
+        return cluster.scheduler.now if cluster is not None else 0.0
+
+    def make_factory(i: int):
+        backend_cls = backend_classes[i]
+        profile = profiles[i] if profiles else None
+
+        def factory() -> NfsConformanceWrapper:
+            kwargs = {"clock": sim_clock, "profile": profile}
+            if backend_cls.__name__ == "FreeBsdUfsBackend":
+                kwargs["boot_salt"] = 1000 + i
+            backend = backend_cls(**kwargs)
+            return NfsConformanceWrapper(backend, spec=spec,
+                                         clock=sim_clock)
+        return factory
+
+    cluster = build_base_cluster(
+        [make_factory(i) for i in range(config.n)], config=config,
+        base_config=BaseServiceConfig(
+            branching=branching,
+            per_object_check_cost=per_object_check_cost,
+            checkpoint_cost=checkpoint_cost),
+        network_config=network_config, replica_costs=replica_costs,
+        seed=seed)
+    clock_box["cluster"] = cluster
+    sync = cluster.add_client(client_id)
+    return cluster, BaseFsTransport(sync)
+
+
+def build_nfs_std(backend_class: Type[MemoryFilesystem] = None,
+                  profile: Optional[CostProfile] = None,
+                  network_config: Optional[NetworkConfig] = None,
+                  seed: int = 0) -> Tuple[MemoryFilesystem, DirectTransport]:
+    """Build the unreplicated NFS-std baseline on its own network."""
+    from repro.nfs.backends.vendors import LinuxExt2Backend
+    backend_class = backend_class or LinuxExt2Backend
+    scheduler = Scheduler()
+    network = Network(scheduler, network_config or NetworkConfig(seed=seed))
+    backend = backend_class(clock=lambda: scheduler.now, profile=profile)
+    _DirectServer("nfs-server", network, backend)
+    transport = DirectTransport(scheduler, network, "nfs-server")
+    return backend, transport

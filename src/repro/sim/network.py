@@ -1,0 +1,184 @@
+"""Simulated asynchronous network: delays, loss, partitions, multicast.
+
+Models the substrate BFT assumes: an unreliable network that may delay,
+drop, duplicate, or reorder messages, but eventually delivers them (the
+liveness assumption).  Per-link behaviour is configurable and every random
+choice comes from a seeded RNG, so runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, Optional, Set, Tuple
+
+from repro.sim.scheduler import Scheduler
+
+
+@dataclass
+class LinkConfig:
+    """Behaviour of a single directed link."""
+
+    latency: float = 0.0001          # base propagation delay (100 us LAN)
+    jitter: float = 0.00002          # uniform extra delay in [0, jitter]
+    bandwidth: float = 12_500_000.0  # bytes/sec (100 Mb/s)
+    drop_rate: float = 0.0           # probability a message is silently lost
+    duplicate_rate: float = 0.0      # probability a message is delivered twice
+
+
+@dataclass
+class NetworkConfig:
+    """Network-wide defaults; individual links may override."""
+
+    seed: int = 0
+    default_link: LinkConfig = field(default_factory=LinkConfig)
+
+
+class Network:
+    """Message fabric connecting :class:`~repro.sim.node.Node` instances.
+
+    Nodes are registered under hashable ids.  ``send`` charges latency +
+    size/bandwidth, samples jitter/drops from the seeded RNG, and schedules
+    ``node.on_message(src, msg)`` on the scheduler.  Partitions are modelled
+    as a set of unordered id pairs whose traffic is dropped.
+    """
+
+    def __init__(self, scheduler: Scheduler, config: Optional[NetworkConfig] = None):
+        self.scheduler = scheduler
+        self.config = config or NetworkConfig()
+        self.rng = random.Random(self.config.seed)
+        self._nodes: Dict[Any, Any] = {}
+        self._links: Dict[Tuple[Any, Any], LinkConfig] = {}
+        self._partitioned: Set[frozenset] = set()
+        self._filters: list = []  # callables (src, dst, msg) -> bool (deliver?)
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+        self.bytes_sent = 0
+
+    # -- topology ----------------------------------------------------------
+
+    def register(self, node_id: Any, node: Any) -> None:
+        """Attach a node; it must expose ``on_message(src, msg)``."""
+        self._nodes[node_id] = node
+
+    def unregister(self, node_id: Any) -> None:
+        self._nodes.pop(node_id, None)
+
+    def node_ids(self) -> Iterable[Any]:
+        return self._nodes.keys()
+
+    def set_link(self, src: Any, dst: Any, link: LinkConfig) -> None:
+        """Override the link configuration for the directed pair."""
+        self._links[(src, dst)] = link
+
+    def link(self, src: Any, dst: Any) -> LinkConfig:
+        return self._links.get((src, dst), self.config.default_link)
+
+    # -- partitions and filters --------------------------------------------
+
+    def partition(self, a: Any, b: Any) -> None:
+        """Drop all traffic between ``a`` and ``b`` until healed."""
+        self._partitioned.add(frozenset((a, b)))
+
+    def heal(self, a: Any, b: Any) -> None:
+        self._partitioned.discard(frozenset((a, b)))
+
+    def heal_all(self) -> None:
+        self._partitioned.clear()
+
+    def is_partitioned(self, a: Any, b: Any) -> bool:
+        return frozenset((a, b)) in self._partitioned
+
+    def add_filter(self, fn: Callable[[Any, Any, Any], bool]) -> None:
+        """Install a delivery filter; returning False drops the message.
+
+        Filters let tests drop, say, all PRE-PREPAREs from a given primary
+        without subclassing nodes.
+        """
+        self._filters.append(fn)
+
+    def remove_filter(self, fn: Callable[[Any, Any, Any], bool]) -> None:
+        self._filters.remove(fn)
+
+    # -- transmission -------------------------------------------------------
+
+    def send(self, src: Any, dst: Any, msg: Any, size: Optional[int] = None) -> None:
+        """Send ``msg`` from ``src`` to ``dst``.
+
+        ``size`` is the wire size in bytes used for the bandwidth charge;
+        when omitted the message's ``wire_size()`` is used if present,
+        else a small fixed size.
+        """
+        self.messages_sent += 1
+        nbytes = self._size_of(msg, size)
+        self.bytes_sent += nbytes
+        if self.is_partitioned(src, dst):
+            self.messages_dropped += 1
+            return
+        for fn in self._filters:
+            if not fn(src, dst, msg):
+                self.messages_dropped += 1
+                return
+        link = self.link(src, dst)
+        if link.drop_rate and self.rng.random() < link.drop_rate:
+            self.messages_dropped += 1
+            return
+        delay = (link.latency
+                 + (self.rng.random() * link.jitter if link.jitter else 0.0)
+                 + nbytes / link.bandwidth)
+        self.scheduler.schedule(delay, self._deliver, src, dst, msg)
+        if link.duplicate_rate and self.rng.random() < link.duplicate_rate:
+            self.scheduler.schedule(delay * 2, self._deliver, src, dst, msg)
+
+    def multicast(self, src: Any, dsts: Iterable[Any], msg: Any,
+                  size: Optional[int] = None) -> None:
+        """True IP multicast: the sender serializes the message *once*;
+        every destination receives that same transmission (individual
+        propagation jitter, drops, and partitions still apply)."""
+        dsts = list(dsts)
+        if not dsts:
+            return
+        nbytes = self._size_of(msg, size)
+        serialization = nbytes / self.link(src, dsts[0]).bandwidth
+        for dst in dsts:
+            self.messages_sent += 1
+            if self.is_partitioned(src, dst):
+                self.messages_dropped += 1
+                continue
+            if any(not fn(src, dst, msg) for fn in self._filters):
+                self.messages_dropped += 1
+                continue
+            link = self.link(src, dst)
+            if link.drop_rate and self.rng.random() < link.drop_rate:
+                self.messages_dropped += 1
+                continue
+            delay = (link.latency
+                     + (self.rng.random() * link.jitter if link.jitter
+                        else 0.0)
+                     + serialization)
+            self.scheduler.schedule(delay, self._deliver, src, dst, msg)
+        self.bytes_sent += nbytes
+
+    def broadcast(self, src: Any, msg: Any, size: Optional[int] = None) -> None:
+        """Send to every registered node except ``src``."""
+        self.multicast(src, [d for d in self._nodes if d != src], msg, size=size)
+
+    # -- internals -----------------------------------------------------------
+
+    @staticmethod
+    def _size_of(msg: Any, size: Optional[int]) -> int:
+        if size is not None:
+            return size
+        wire = getattr(msg, "wire_size", None)
+        if callable(wire):
+            return int(wire())
+        return 64
+
+    def _deliver(self, src: Any, dst: Any, msg: Any) -> None:
+        node = self._nodes.get(dst)
+        if node is None:
+            self.messages_dropped += 1
+            return
+        self.messages_delivered += 1
+        node.on_message(src, msg)

@@ -1,0 +1,134 @@
+"""Base class for protocol participants: message handling + timers."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.network import Network
+from repro.sim.scheduler import Event, Scheduler
+
+
+class Timer:
+    """Restartable one-shot timer bound to a scheduler.
+
+    Mirrors the timers BFT uses (view-change timer, recovery watchdog):
+    ``start`` arms it, ``stop`` disarms, ``restart`` re-arms from now.
+    """
+
+    def __init__(self, scheduler: Scheduler, period: float,
+                 callback: Callable[[], None]):
+        self.scheduler = scheduler
+        self.period = period
+        self.callback = callback
+        self._event: Optional[Event] = None
+
+    @property
+    def running(self) -> bool:
+        return self._event is not None and not self._event.cancelled
+
+    def start(self, period: Optional[float] = None) -> None:
+        """Arm the timer; a running timer is left alone."""
+        if self.running:
+            return
+        if period is not None:
+            self.period = period
+        self._event = self.scheduler.schedule(self.period, self._fire)
+
+    def stop(self) -> None:
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def restart(self, period: Optional[float] = None) -> None:
+        self.stop()
+        self.start(period)
+
+    def _fire(self) -> None:
+        self._event = None
+        self.callback()
+
+
+class Node:
+    """A network participant with a stable id, send helpers, and timers."""
+
+    def __init__(self, node_id: Any, network: Network):
+        self.node_id = node_id
+        self.network = network
+        self.scheduler = network.scheduler
+        network.register(node_id, self)
+        self._crashed = False
+        self.busy_until = 0.0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def crashed(self) -> bool:
+        return self._crashed
+
+    def crash(self) -> None:
+        """Stop processing messages (fail-stop); timers keep firing but
+        subclasses should check :attr:`crashed`."""
+        self._crashed = True
+
+    def restart_node(self) -> None:
+        self._crashed = False
+
+    # -- CPU accounting ---------------------------------------------------------
+
+    def charge(self, seconds: float) -> None:
+        """Consume simulated CPU time; serializes this node's work.
+
+        Outgoing messages are delayed until the node's accumulated CPU
+        work has drained, modelling a single-threaded implementation.
+        """
+        if seconds > 0:
+            self.busy_until = max(self.busy_until, self.now) + seconds
+
+    # -- messaging -----------------------------------------------------------
+
+    def send(self, dst: Any, msg: Any, size: Optional[int] = None) -> None:
+        if self._crashed:
+            return
+        delay = self.busy_until - self.now
+        if delay > 0:
+            self.scheduler.schedule(delay, self.network.send, self.node_id,
+                                    dst, msg, size)
+        else:
+            self.network.send(self.node_id, dst, msg, size=size)
+
+    def multicast(self, dsts, msg: Any, size: Optional[int] = None) -> None:
+        if self._crashed:
+            return
+        delay = self.busy_until - self.now
+        if delay > 0:
+            self.scheduler.schedule(delay, self.network.multicast,
+                                    self.node_id, list(dsts), msg, size)
+        else:
+            self.network.multicast(self.node_id, dsts, msg, size=size)
+
+    def on_message(self, src: Any, msg: Any) -> None:
+        """Dispatch to ``handle_<type>`` by the message's ``kind`` attribute."""
+        if self._crashed:
+            return
+        kind = getattr(msg, "kind", None)
+        handler = getattr(self, f"handle_{kind}", None) if kind else None
+        if handler is None:
+            self.on_unhandled(src, msg)
+        else:
+            handler(src, msg)
+
+    def on_unhandled(self, src: Any, msg: Any) -> None:
+        """Hook for messages without a dedicated handler; default drops."""
+
+    # -- timers ---------------------------------------------------------------
+
+    def make_timer(self, period: float, callback: Callable[[], None]) -> Timer:
+        return Timer(self.scheduler, period, callback)
+
+    def after(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` after ``delay`` simulated seconds."""
+        return self.scheduler.schedule(delay, fn, *args)
+
+    @property
+    def now(self) -> float:
+        return self.scheduler.now

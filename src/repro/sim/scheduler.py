@@ -1,0 +1,131 @@
+"""Event loop: a priority queue of timed callbacks over simulated time."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+
+class Event:
+    """A scheduled callback.  Cancellable; compares by (time, seq)."""
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running when its time arrives."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time:.6f}, seq={self.seq}, {state}, fn={self.fn!r})"
+
+
+class Scheduler:
+    """Discrete-event scheduler with a monotonically advancing clock.
+
+    Time is a float in simulated seconds.  Events scheduled for the same
+    instant run in scheduling order (FIFO), which keeps runs deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._seq = 0
+        self._queue: List[Event] = []
+        self._halted = False
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Run ``fn(*args)`` after ``delay`` simulated seconds.
+
+        Returns the :class:`Event`, which may be cancelled before it fires.
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        event = Event(self._now + delay, self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Run ``fn(*args)`` at absolute simulated ``time`` (>= now)."""
+        return self.schedule(max(0.0, time - self._now), fn, *args)
+
+    def halt(self) -> None:
+        """Stop the run loop after the current event completes."""
+        self._halted = True
+
+    def step(self) -> bool:
+        """Execute the next pending event.  Returns False if none remain."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.fn(*event.args)
+            return True
+        return False
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Run until the queue drains (or ``max_events``).  Returns count run."""
+        self._halted = False
+        count = 0
+        while not self._halted and (max_events is None or count < max_events):
+            if not self.step():
+                break
+            count += 1
+        return count
+
+    def run_until(self, time: float, max_events: int = 50_000_000) -> int:
+        """Run events with time <= ``time``; advances the clock to ``time``."""
+        self._halted = False
+        count = 0
+        while not self._halted and count < max_events:
+            if not self._queue:
+                break
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if head.time > time:
+                break
+            self.step()
+            count += 1
+        if self._now < time:
+            self._now = time
+        return count
+
+    def run_until_idle_or(self, predicate: Callable[[], bool],
+                          max_events: int = 50_000_000) -> bool:
+        """Run until ``predicate()`` is true or the queue drains.
+
+        Returns the final value of the predicate.  The predicate is checked
+        after every event, making this the usual way tests wait for a
+        protocol outcome without assuming how long it takes.
+        """
+        self._halted = False
+        count = 0
+        while not self._halted and count < max_events:
+            if predicate():
+                return True
+            if not self.step():
+                break
+            count += 1
+        return predicate()
+
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events in the queue."""
+        return sum(1 for e in self._queue if not e.cancelled)

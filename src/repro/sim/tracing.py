@@ -1,0 +1,64 @@
+"""Structured event tracing and counters for experiments."""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+
+@dataclass
+class TraceEvent:
+    time: float
+    source: Any
+    kind: str
+    detail: Dict[str, Any]
+
+
+class Tracer:
+    """Collects protocol events and counters.
+
+    The benchmark harness uses counters (MAC ops, digests, disk reads,
+    messages) to attribute simulated time via the cost model; tests use
+    the event list to assert protocol behaviour (e.g. "a view change
+    happened", "replica 3 fetched 12 objects").
+    """
+
+    def __init__(self, keep_events: bool = True, max_events: int = 200_000):
+        self.keep_events = keep_events
+        self.max_events = max_events
+        self.events: List[TraceEvent] = []
+        self.counters: Counter = Counter()
+        self._timings: Dict[str, List[float]] = defaultdict(list)
+
+    def emit(self, time: float, source: Any, kind: str, **detail: Any) -> None:
+        self.counters[kind] += 1
+        if self.keep_events and len(self.events) < self.max_events:
+            self.events.append(TraceEvent(time, source, kind, detail))
+
+    def count(self, kind: str, n: int = 1) -> None:
+        self.counters[kind] += n
+
+    def record_timing(self, label: str, seconds: float) -> None:
+        self._timings[label].append(seconds)
+
+    def timings(self, label: str) -> List[float]:
+        return self._timings.get(label, [])
+
+    def find(self, kind: str, source: Optional[Any] = None) -> List[TraceEvent]:
+        return [e for e in self.events
+                if e.kind == kind and (source is None or e.source == source)]
+
+    def first(self, kind: str) -> Optional[TraceEvent]:
+        for e in self.events:
+            if e.kind == kind:
+                return e
+        return None
+
+    def clear(self) -> None:
+        self.events.clear()
+        self.counters.clear()
+        self._timings.clear()
+
+    def summary(self) -> List[Tuple[str, int]]:
+        return sorted(self.counters.items())

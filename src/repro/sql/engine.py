@@ -1,0 +1,247 @@
+"""Two off-the-shelf relational engines behind one ODBC-ish interface.
+
+Like the NFS backends, these deliberately disagree in every way the
+interface under-specifies — scan order, internal row identifiers, how
+deleted space is reported — while agreeing on the visible relational
+semantics.  The conformance wrapper must mask the differences.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import ServiceError
+
+
+class SqlEngineError(ServiceError):
+    """Engine-level failure with an SQLSTATE-ish code."""
+
+    def __init__(self, code: str, detail: str = ""):
+        super().__init__(f"{code}{': ' + detail if detail else ''}")
+        self.code = code
+
+
+class SqlEngine:
+    """The interface both engines implement (think: the ODBC surface)."""
+
+    vendor = "generic"
+
+    def create_table(self, name: str, columns: Tuple[str, ...],
+                     key: str) -> None:
+        raise NotImplementedError
+
+    def drop_table(self, name: str) -> None:
+        raise NotImplementedError
+
+    def tables(self) -> List[Tuple[str, Tuple[str, ...], str]]:
+        """(name, columns, key column) in implementation order."""
+        raise NotImplementedError
+
+    def insert(self, table: str, values: Tuple) -> None:
+        raise NotImplementedError
+
+    def select(self, table: str, key) -> Optional[Tuple]:
+        raise NotImplementedError
+
+    def update(self, table: str, key, values: Tuple) -> bool:
+        raise NotImplementedError
+
+    def delete(self, table: str, key) -> bool:
+        raise NotImplementedError
+
+    def scan(self, table: str) -> List[Tuple]:
+        """All rows, in *implementation-specific* order."""
+        raise NotImplementedError
+
+    def row_count(self, table: str) -> int:
+        raise NotImplementedError
+
+
+class _Schema:
+    __slots__ = ("columns", "key_pos", "key")
+
+    def __init__(self, columns: Tuple[str, ...], key: str):
+        if key not in columns:
+            raise SqlEngineError("42000", f"key column {key!r} not in schema")
+        if len(set(columns)) != len(columns):
+            raise SqlEngineError("42000", "duplicate column names")
+        self.columns = tuple(columns)
+        self.key = key
+        self.key_pos = columns.index(key)
+
+
+def _check_row(schema: _Schema, values: Tuple) -> Tuple:
+    if len(values) != len(schema.columns):
+        raise SqlEngineError("21S01",
+                             f"{len(values)} values for "
+                             f"{len(schema.columns)} columns")
+    return tuple(values)
+
+
+class HashStoreEngine(SqlEngine):
+    """Vendor A: hash-organized heap.
+
+    Scans return rows in *insertion* order; internal row ids are
+    sequential integers; deleted rows leave tombstone counters behind
+    (invisible through the interface, distinct in the concrete state).
+    """
+
+    vendor = "hashstore"
+
+    def __init__(self) -> None:
+        self._schemas: Dict[str, _Schema] = {}
+        self._rows: Dict[str, Dict[object, Tuple[int, Tuple]]] = {}
+        self._next_rowid = 1
+        self._tombstones: Dict[str, int] = {}
+
+    def create_table(self, name, columns, key):
+        if name in self._schemas:
+            raise SqlEngineError("42S01", name)
+        self._schemas[name] = _Schema(tuple(columns), key)
+        self._rows[name] = {}
+        self._tombstones[name] = 0
+
+    def drop_table(self, name):
+        if name not in self._schemas:
+            raise SqlEngineError("42S02", name)
+        del self._schemas[name], self._rows[name], self._tombstones[name]
+
+    def tables(self):
+        return [(name, schema.columns, schema.key)
+                for name, schema in self._schemas.items()]
+
+    def _table(self, name) -> Tuple[_Schema, Dict]:
+        schema = self._schemas.get(name)
+        if schema is None:
+            raise SqlEngineError("42S02", name)
+        return schema, self._rows[name]
+
+    def insert(self, table, values):
+        schema, rows = self._table(table)
+        row = _check_row(schema, values)
+        key = row[schema.key_pos]
+        if key in rows:
+            raise SqlEngineError("23000", f"duplicate key {key!r}")
+        rows[key] = (self._next_rowid, row)
+        self._next_rowid += 1
+
+    def select(self, table, key):
+        _, rows = self._table(table)
+        hit = rows.get(key)
+        return hit[1] if hit else None
+
+    def update(self, table, key, values):
+        schema, rows = self._table(table)
+        if key not in rows:
+            return False
+        row = _check_row(schema, values)
+        if row[schema.key_pos] != key:
+            raise SqlEngineError("23000", "update may not change the key")
+        rowid = rows[key][0]
+        rows[key] = (rowid, row)
+        return True
+
+    def delete(self, table, key):
+        _, rows = self._table(table)
+        if rows.pop(key, None) is None:
+            return False
+        self._tombstones[table] += 1
+        return True
+
+    def scan(self, table):
+        _, rows = self._table(table)
+        return [row for _, row in rows.values()]  # insertion order
+
+    def row_count(self, table):
+        return len(self._table(table)[1])
+
+
+class BTreeStoreEngine(SqlEngine):
+    """Vendor B: b-tree-organized store.
+
+    Scans return rows in *key* order; internal row ids are key hashes;
+    per-table modification counters grow monotonically (a concrete-state
+    difference the abstraction hides).
+    """
+
+    vendor = "btreestore"
+
+    def __init__(self) -> None:
+        self._schemas: Dict[str, _Schema] = {}
+        self._keys: Dict[str, List] = {}
+        self._data: Dict[str, Dict[object, Tuple[bytes, Tuple]]] = {}
+        self._modifications: Dict[str, int] = {}
+
+    def create_table(self, name, columns, key):
+        if name in self._schemas:
+            raise SqlEngineError("42S01", name)
+        self._schemas[name] = _Schema(tuple(columns), key)
+        self._keys[name] = []
+        self._data[name] = {}
+        self._modifications[name] = 0
+
+    def drop_table(self, name):
+        if name not in self._schemas:
+            raise SqlEngineError("42S02", name)
+        del (self._schemas[name], self._keys[name], self._data[name],
+             self._modifications[name])
+
+    def tables(self):
+        # Implementation detail: catalog kept name-sorted (differs from
+        # HashStoreEngine's creation order).
+        return [(name, self._schemas[name].columns, self._schemas[name].key)
+                for name in sorted(self._schemas)]
+
+    def _table(self, name):
+        schema = self._schemas.get(name)
+        if schema is None:
+            raise SqlEngineError("42S02", name)
+        return schema, self._keys[name], self._data[name]
+
+    @staticmethod
+    def _rowid(table: str, key) -> bytes:
+        return hashlib.md5(repr((table, key)).encode()).digest()[:8]
+
+    def insert(self, table, values):
+        schema, keys, data = self._table(table)
+        row = _check_row(schema, values)
+        key = row[schema.key_pos]
+        if key in data:
+            raise SqlEngineError("23000", f"duplicate key {key!r}")
+        bisect.insort(keys, key)
+        data[key] = (self._rowid(table, key), row)
+        self._modifications[table] += 1
+
+    def select(self, table, key):
+        _, _, data = self._table(table)
+        hit = data.get(key)
+        return hit[1] if hit else None
+
+    def update(self, table, key, values):
+        schema, _, data = self._table(table)
+        if key not in data:
+            return False
+        row = _check_row(schema, values)
+        if row[schema.key_pos] != key:
+            raise SqlEngineError("23000", "update may not change the key")
+        data[key] = (data[key][0], row)
+        self._modifications[table] += 1
+        return True
+
+    def delete(self, table, key):
+        _, keys, data = self._table(table)
+        if key not in data:
+            return False
+        del data[key]
+        keys.remove(key)
+        self._modifications[table] += 1
+        return True
+
+    def scan(self, table):
+        _, keys, data = self._table(table)
+        return [data[key][1] for key in keys]  # key order
+
+    def row_count(self, table):
+        return len(self._table(table)[2])

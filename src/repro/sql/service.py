@@ -1,0 +1,123 @@
+"""Builders and client for the relational service."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple, Type
+
+from repro.base.library import BaseServiceConfig, build_base_cluster
+from repro.bft.client import SyncClient
+from repro.bft.config import BftConfig
+from repro.bft.costs import CostModel
+from repro.encoding.canonical import canonical, decanonical
+from repro.harness.cluster import Cluster
+from repro.sim.network import Network, NetworkConfig
+from repro.sim.node import Node
+from repro.sim.scheduler import Scheduler
+from repro.sql.engine import SqlEngine, SqlEngineError
+from repro.sql.wrapper import SqlConformanceWrapper
+
+READ_ONLY_OPS = frozenset({"select", "scan", "tables", "row_count"})
+
+
+class SqlClient:
+    """ODBC-ish client API over either deployment."""
+
+    def __init__(self, call: Callable[[bytes, bool], bytes]):
+        self._call = call
+
+    def _issue(self, *parts, read_only: bool = False):
+        result = decanonical(self._call(canonical(parts), read_only))
+        if result[0] != "OK":
+            raise SqlEngineError(result[1], result[2] if len(result) > 2
+                                 else "")
+        return result[1:]
+
+    def create_table(self, name: str, columns: Sequence[str],
+                     key: str) -> None:
+        self._issue("create_table", name, tuple(columns), key)
+
+    def drop_table(self, name: str) -> None:
+        self._issue("drop_table", name)
+
+    def tables(self):
+        return self._issue("tables", read_only=True)[0]
+
+    def insert(self, table: str, values: Sequence) -> None:
+        self._issue("insert", table, tuple(values))
+
+    def select(self, table: str, key):
+        return self._issue("select", table, key, read_only=True)[0]
+
+    def update(self, table: str, key, values: Sequence) -> None:
+        self._issue("update", table, key, tuple(values))
+
+    def delete(self, table: str, key) -> None:
+        self._issue("delete", table, key)
+
+    def scan(self, table: str):
+        return self._issue("scan", table, read_only=True)[0]
+
+    def row_count(self, table: str) -> int:
+        return self._issue("row_count", table, read_only=True)[0]
+
+
+def build_base_sql(engine_classes: Sequence[Type[SqlEngine]],
+                   array_size: int = 512,
+                   config: Optional[BftConfig] = None,
+                   network_config: Optional[NetworkConfig] = None,
+                   replica_costs: Optional[List[CostModel]] = None,
+                   per_op_cost: float = 0.0,
+                   branching: int = 16,
+                   seed: int = 0) -> Tuple[Cluster, SqlClient]:
+    """Replicated deployment; mix engine classes for N-version operation."""
+    config = config or BftConfig(n=len(engine_classes))
+    factories = [
+        (lambda cls=cls: SqlConformanceWrapper(cls(), array_size=array_size,
+                                               per_op_cost=per_op_cost))
+        for cls in engine_classes]
+    cluster = build_base_cluster(
+        factories, config=config,
+        base_config=BaseServiceConfig(branching=branching),
+        network_config=network_config, replica_costs=replica_costs,
+        seed=seed)
+    sync = cluster.add_client("sql-client")
+
+    def call(op: bytes, read_only: bool) -> bytes:
+        return sync.call(op, read_only=read_only)
+
+    return cluster, SqlClient(call)
+
+
+class _DirectSqlServer(Node):
+    def __init__(self, node_id, network, engine: SqlEngine):
+        super().__init__(node_id, network)
+        self.wrapper = SqlConformanceWrapper(engine)
+
+    def on_message(self, src, msg):
+        nonce, op = msg
+        raw = self.wrapper.execute(op, src, b"")
+        self.send(src, (nonce, raw), size=64 + len(raw))
+
+
+def build_sql_std(engine_class: Type[SqlEngine],
+                  network_config: Optional[NetworkConfig] = None,
+                  seed: int = 0) -> Tuple[SqlEngine, SqlClient]:
+    """Unreplicated baseline (one engine behind the same wire surface)."""
+    scheduler = Scheduler()
+    network = Network(scheduler, network_config or NetworkConfig(seed=seed))
+    engine = engine_class()
+    server = _DirectSqlServer("sql-server", network, engine)
+    box = {}
+    counter = {"nonce": 0}
+    client_node = Node("sql-client-node", network)
+    client_node.on_message = lambda src, msg: box.__setitem__(msg[0], msg[1])
+
+    def call(op: bytes, read_only: bool) -> bytes:
+        counter["nonce"] += 1
+        nonce = counter["nonce"]
+        client_node.send("sql-server", (nonce, op), size=64 + len(op))
+        if not scheduler.run_until_idle_or(lambda: nonce in box):
+            raise TimeoutError("sql server never answered")
+        return box.pop(nonce)
+
+    return engine, SqlClient(call)

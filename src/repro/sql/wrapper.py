@@ -1,0 +1,254 @@
+"""Conformance wrapper for the relational service.
+
+Common abstract specification (what ODBC under-specifies, pinned down):
+
+- the catalog (abstract object 0) lists tables sorted by name;
+- every row is one abstract object, identified by (table, primary key)
+  through a :class:`~repro.base.mappings.KeyedArrayMapping` — slots are
+  allocated deterministically, so replicas agree on the array layout no
+  matter what row ids their engines use internally;
+- ``scan`` returns rows in primary-key order (both engines' native scan
+  orders are hidden);
+- errors are the deterministic SQLSTATE-ish codes of the spec, never
+  engine internals.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.base.mappings import KeyedArrayMapping
+from repro.base.upcalls import Upcalls
+from repro.encoding.canonical import canonical, decanonical
+from repro.errors import StateTransferError
+from repro.sql.engine import SqlEngine, SqlEngineError
+
+
+class SqlConformanceWrapper(Upcalls):
+    """One replica's veneer over one relational engine."""
+
+    CATALOG_INDEX = 0
+
+    def __init__(self, engine: SqlEngine, array_size: int = 1024,
+                 per_op_cost: float = 0.0):
+        super().__init__()
+        self.engine = engine
+        self.array_size = array_size
+        self.per_op_cost = per_op_cost
+        self.rows: KeyedArrayMapping = KeyedArrayMapping(array_size,
+                                                         reserved=1)
+        self._saved: Optional[bytes] = None
+
+    @property
+    def num_objects(self) -> int:
+        return self.array_size
+
+    # -- execute ---------------------------------------------------------------
+
+    def execute(self, op: bytes, client_id: str, nondet: bytes,
+                read_only: bool = False) -> bytes:
+        kind, *args = decanonical(op)
+        if self.library is not None:
+            self.library.charge(self.per_op_cost)
+        handler = getattr(self, f"_op_{kind}", None)
+        if handler is None:
+            return canonical(("ERROR", "42000", f"unknown op {kind}"))
+        if read_only and kind not in ("select", "scan", "tables",
+                                      "row_count"):
+            return canonical(("ERROR", "25006", "write on read-only path"))
+        try:
+            return canonical(("OK",) + handler(*args))
+        except SqlEngineError as err:
+            return canonical(("ERROR", err.code, str(err)))
+        except (TypeError, ValueError) as err:
+            return canonical(("ERROR", "42000", type(err).__name__))
+
+    def _op_create_table(self, name: str, columns: tuple, key: str) -> tuple:
+        self._modify(self.CATALOG_INDEX)
+        self.engine.create_table(name, tuple(columns), key)
+        return ()
+
+    def _op_drop_table(self, name: str) -> tuple:
+        self._modify(self.CATALOG_INDEX)
+        # Every row of the table disappears from the abstract state.
+        doomed = [row_key for row_key, _ in self.rows.items()
+                  if row_key[0] == name]
+        for row_key in doomed:
+            index = self.rows.index_of(row_key)
+            self._modify(index)
+            self.rows.release(row_key)
+        self.engine.drop_table(name)
+        return ()
+
+    def _op_tables(self) -> tuple:
+        catalog = sorted(self.engine.tables())
+        return (tuple((name, tuple(cols), key)
+                      for name, cols, key in catalog),)
+
+    def _op_insert(self, table: str, values: tuple) -> tuple:
+        key_pos = self._key_pos(table)
+        key = values[key_pos]
+        # Abstract-spec rule: all keys in a table share one type.  The
+        # engines genuinely disagree here (the b-tree store cannot order
+        # mixed int/str keys, the hash store can), so the wrapper must
+        # virtualize the check or replicas running different engines
+        # would diverge — §2.4's "very different behavior" case.
+        existing_type = self._key_type_of(table)
+        if existing_type is not None and \
+                type(key).__name__ != existing_type:
+            raise SqlEngineError(
+                "22018", f"key type {type(key).__name__} does not match "
+                         f"table's {existing_type}")
+        row_key = (table, key)
+        if row_key in self.rows:
+            raise SqlEngineError("23000", f"duplicate key {key!r}")
+        index = self.rows.reserve()
+        self._modify(index)  # pre-image: a free slot at the old generation
+        try:
+            self.engine.insert(table, tuple(values))
+        except SqlEngineError:
+            self.rows.rollback(index)
+            raise
+        gen = self.rows.bind(row_key, index)
+        return (index, gen)
+
+    def _op_select(self, table: str, key) -> tuple:
+        row = self.engine.select(table, key)
+        if row is None:
+            raise SqlEngineError("02000", "no data")
+        return (tuple(row),)
+
+    def _op_update(self, table: str, key, values: tuple) -> tuple:
+        row_key = (table, key)
+        index = self.rows.index_of(row_key)
+        if index is None:
+            raise SqlEngineError("02000", "no data")
+        self._modify(index)
+        changed = self.engine.update(table, key, tuple(values))
+        return (changed,)
+
+    def _op_delete(self, table: str, key) -> tuple:
+        row_key = (table, key)
+        index = self.rows.index_of(row_key)
+        if index is None:
+            raise SqlEngineError("02000", "no data")
+        self._modify(index)
+        self.engine.delete(table, key)
+        self.rows.release(row_key)
+        return ()
+
+    def _op_scan(self, table: str) -> tuple:
+        rows = self.engine.scan(table)
+        key_pos = self._key_pos(table)
+        # The spec pins scan order: canonical byte order of the encoded
+        # primary key — deterministic for any key type, identical at
+        # every replica no matter the engine's native order.
+        return (tuple(tuple(r) for r in
+                      sorted(rows, key=lambda r: canonical(r[key_pos]))),)
+
+    def _op_row_count(self, table: str) -> tuple:
+        return (self.engine.row_count(table),)
+
+    def _key_type_of(self, table: str) -> Optional[str]:
+        """Type of this table's keys: the key of the live row with the
+        lowest abstract index (deterministic), or None when empty."""
+        for row_key, _ in self.rows.items():
+            if row_key[0] == table:
+                return type(row_key[1]).__name__
+        return None
+
+    def _key_pos(self, table: str) -> int:
+        for name, columns, key in self.engine.tables():
+            if name == table:
+                return columns.index(key)
+        raise SqlEngineError("42S02", table)
+
+    def _modify(self, index: int) -> None:
+        if self.library is not None:
+            self.library.modify(index)
+
+    # -- abstraction function & inverse ----------------------------------------------
+
+    def get_obj(self, index: int) -> bytes:
+        if index == self.CATALOG_INDEX:
+            catalog = tuple(sorted((name, tuple(cols), key)
+                                   for name, cols, key
+                                   in self.engine.tables()))
+            return canonical(("catalog", catalog))
+        gen = self.rows.generation(index)
+        row_key = self.rows.key_of(index)
+        if row_key is None:
+            return canonical(("free", gen))
+        table, key = row_key
+        row = self.engine.select(table, key)
+        if row is None:
+            raise StateTransferError(
+                f"{self.engine.vendor}: mapped row {row_key!r} missing")
+        return canonical(("row", gen, table, canonical(key), tuple(row)))
+
+    def put_objs(self, objects: Dict[int, bytes]) -> None:
+        # Catalog first: creating tables is a dependency of their rows.
+        if self.CATALOG_INDEX in objects:
+            self._put_catalog(objects[self.CATALOG_INDEX])
+        for index in sorted(objects):
+            if index == self.CATALOG_INDEX:
+                continue
+            decoded = decanonical(objects[index])
+            if decoded[0] == "free":
+                self._put_free(index, decoded[1])
+            else:
+                self._put_row(index, decoded)
+
+    def _put_catalog(self, blob: bytes) -> None:
+        tag, catalog = decanonical(blob)
+        if tag != "catalog":
+            raise StateTransferError("object 0 must be the catalog")
+        wanted = {name: (tuple(cols), key) for name, cols, key in catalog}
+        existing = {name: (tuple(cols), key)
+                    for name, cols, key in self.engine.tables()}
+        for name in existing:
+            if name not in wanted or wanted[name] != existing[name]:
+                self.engine.drop_table(name)
+        for name, (cols, key) in sorted(wanted.items()):
+            if name not in existing or wanted[name] != existing.get(name):
+                if name in existing:
+                    pass  # already dropped above
+                self.engine.create_table(name, cols, key)
+
+    def _put_free(self, index: int, gen: int) -> None:
+        row_key = self.rows.key_of(index)
+        if row_key is not None:
+            table, key = row_key
+            try:
+                self.engine.delete(table, key)
+            except SqlEngineError:
+                pass  # table dropped by the catalog update
+        self.rows.install(None, index, gen)
+
+    def _put_row(self, index: int, decoded: tuple) -> None:
+        _, gen, table, key_blob, values = decoded
+        key = decanonical(key_blob)
+        old_key = self.rows.key_of(index)
+        if old_key is not None and old_key != (table, key):
+            old_table, old_k = old_key
+            try:
+                self.engine.delete(old_table, old_k)
+            except SqlEngineError:
+                pass
+        if self.engine.select(table, key) is None:
+            self.engine.insert(table, tuple(values))
+        else:
+            self.engine.update(table, key, tuple(values))
+        self.rows.install((table, key), index, gen)
+
+    # -- recovery ---------------------------------------------------------------------
+
+    def shutdown(self) -> float:
+        self._saved = self.rows.save()
+        return 1e-8 * len(self._saved)
+
+    def restart(self) -> float:
+        if self._saved is None:
+            return 0.0
+        self.rows = KeyedArrayMapping.load(self._saved)
+        return 1e-8 * len(self._saved)

@@ -1,0 +1,57 @@
+"""Server page cache: LRU with seeded tie-jitter (concrete nondeterminism)."""
+
+from __future__ import annotations
+
+import random
+from collections import OrderedDict
+from typing import Optional
+
+from repro.thor.pages import Page
+
+
+class PageCache:
+    """LRU page cache.  Eviction occasionally picks the second-oldest
+    entry (seeded), so replicas' cache contents drift apart — harmless,
+    because cache contents are not part of the abstract state."""
+
+    def __init__(self, capacity_pages: int, seed: int = 0,
+                 jitter: float = 0.1):
+        self.capacity_pages = capacity_pages
+        self._pages: "OrderedDict[int, Page]" = OrderedDict()
+        self._rng = random.Random(seed)
+        self.jitter = jitter
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, pagenum: int) -> Optional[Page]:
+        page = self._pages.get(pagenum)
+        if page is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._pages.move_to_end(pagenum)
+        return page
+
+    def put(self, page: Page) -> None:
+        self._pages[page.pagenum] = page
+        self._pages.move_to_end(page.pagenum)
+        while len(self._pages) > self.capacity_pages:
+            self.evictions += 1
+            victims = list(self._pages)[:2]
+            victim = victims[0]
+            if len(victims) > 1 and self._rng.random() < self.jitter:
+                victim = victims[1]
+            del self._pages[victim]
+
+    def drop(self, pagenum: int) -> None:
+        self._pages.pop(pagenum, None)
+
+    def clear(self) -> None:
+        self._pages.clear()
+
+    def __contains__(self, pagenum: int) -> bool:
+        return pagenum in self._pages
+
+    def __len__(self) -> int:
+        return len(self._pages)

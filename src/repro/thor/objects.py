@@ -1,0 +1,32 @@
+"""Object records: the unit of storage and transfer in Thor.
+
+An object has a class name, a tuple of scalar fields, and a tuple of
+outgoing references (orefs).  Encoding is canonical so that identical
+objects are byte-identical across replicas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.encoding.canonical import canonical, decanonical
+
+
+@dataclass(frozen=True)
+class ObjectRecord:
+    class_name: str
+    fields: Tuple = ()
+    refs: Tuple[int, ...] = ()
+
+    def encode(self) -> bytes:
+        return canonical((self.class_name, tuple(self.fields),
+                          tuple(self.refs)))
+
+    @classmethod
+    def decode(cls, blob: bytes) -> "ObjectRecord":
+        class_name, fields, refs = decanonical(blob)
+        return cls(class_name, fields, refs)
+
+    def with_fields(self, *fields) -> "ObjectRecord":
+        return ObjectRecord(self.class_name, tuple(fields), self.refs)

@@ -1,0 +1,27 @@
+"""Object references: 32-bit oref = pagenum (20 bits) | onum (12 bits).
+
+Objects are globally identified by (server, oref); this reproduction uses
+a single server (the paper sidesteps two-phase commit the same way).
+"""
+
+from __future__ import annotations
+
+ONUM_BITS = 12
+ONUM_MASK = (1 << ONUM_BITS) - 1
+MAX_PAGENUM = (1 << (32 - ONUM_BITS)) - 1
+
+
+def make_oref(pagenum: int, onum: int) -> int:
+    if not 0 <= pagenum <= MAX_PAGENUM:
+        raise ValueError(f"pagenum {pagenum} out of range")
+    if not 0 <= onum <= ONUM_MASK:
+        raise ValueError(f"onum {onum} out of range")
+    return (pagenum << ONUM_BITS) | onum
+
+
+def oref_pagenum(oref: int) -> int:
+    return oref >> ONUM_BITS
+
+
+def oref_onum(oref: int) -> int:
+    return oref & ONUM_MASK

@@ -1,0 +1,192 @@
+"""Builders and transports for BASE-Thor and the unreplicated baseline."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.base.library import BaseServiceConfig, build_base_cluster
+from repro.bft.client import SyncClient
+from repro.bft.config import BftConfig
+from repro.bft.costs import CostModel, ZERO_COSTS
+from repro.encoding.canonical import canonical, decanonical
+from repro.harness.cluster import Cluster
+from repro.sim.network import Network, NetworkConfig
+from repro.sim.node import Node
+from repro.sim.scheduler import Scheduler
+from repro.thor.client import ThorTransport
+from repro.thor.server import ThorServer, ThorServerConfig
+from repro.thor.wrapper import ThorConformanceWrapper
+
+
+class ThorCallError(Exception):
+    """The server-side wrapper reported a (deterministic) failure."""
+
+
+class BaseThorTransport(ThorTransport):
+    """Client side of BASE-Thor: operations ride the BASE invoke path
+    (the paper replaced Thor's communication library with one that calls
+    the BASE library, avoiding interposed proxies)."""
+
+    def __init__(self, sync_client: SyncClient):
+        self.sync_client = sync_client
+
+    def call(self, op: tuple) -> tuple:
+        raw = self.sync_client.call(canonical(op))
+        result = decanonical(raw)
+        if result[0] != 0:
+            raise ThorCallError(result[1] if len(result) > 1 else "error")
+        return result[1:]
+
+    @property
+    def now(self) -> float:
+        return self.sync_client.now
+
+
+class _DirectThorServer(Node):
+    """Unreplicated Thor server node (the paper's baseline, which does
+    not even ensure stability of committed data — it keeps the MOB in
+    memory; the paper calls its own comparison conservative for exactly
+    that reason)."""
+
+    def __init__(self, node_id, network, server: ThorServer,
+                 op_cost: float = 0.0):
+        super().__init__(node_id, network)
+        self.server = server
+        self.op_cost = op_cost
+
+    def on_message(self, src, msg):
+        nonce, op = msg
+        kind, *args = decanonical(op)
+        self.charge(self.op_cost)
+        try:
+            if kind == "start_session":
+                self.server.start_session(args[0])
+                result = (0, 0)
+            elif kind == "end_session":
+                self.server.end_session(args[0])
+                result = (0,)
+            elif kind == "fetch":
+                fetched = self.server.fetch(args[0], args[1],
+                                            tuple(args[2]), tuple(args[3]))
+                result = (0, fetched.page_blob, fetched.invalidations)
+            elif kind == "commit":
+                client, ts, reads, writes, discards, acks = args
+                outcome = self.server.commit(client, ts, frozenset(reads),
+                                             dict(writes), tuple(discards),
+                                             tuple(acks))
+                result = (0, outcome.committed, outcome.invalidations)
+            else:
+                result = (1, f"unknown op {kind}")
+        except Exception as exc:
+            result = (1, type(exc).__name__)
+        blob = canonical(result)
+        self.send(src, (nonce, blob), size=64 + len(blob))
+
+
+class DirectThorTransport(ThorTransport):
+    def __init__(self, scheduler: Scheduler, network: Network,
+                 server_id: str, client_node_id: str):
+        self.scheduler = scheduler
+        self._box = {}
+        self._nonce = 0
+        self.server_id = server_id
+        self._node = Node(client_node_id, network)
+        self._node.on_message = self._on_message  # type: ignore
+
+    def _on_message(self, src, msg):
+        nonce, raw = msg
+        self._box[nonce] = raw
+
+    def call(self, op: tuple) -> tuple:
+        self._nonce += 1
+        nonce = self._nonce
+        blob = canonical(op)
+        self._node.send(self.server_id, (nonce, blob), size=64 + len(blob))
+        ok = self.scheduler.run_until_idle_or(lambda: nonce in self._box)
+        if not ok:
+            raise TimeoutError("thor server never answered")
+        result = decanonical(self._box.pop(nonce))
+        if result[0] != 0:
+            raise ThorCallError(result[1] if len(result) > 1 else "error")
+        return result[1:]
+
+    @property
+    def now(self) -> float:
+        return self.scheduler.now
+
+
+def build_base_thor(num_pages: int,
+                    db_loader: Callable[[ThorServer], None],
+                    server_config: Optional[ThorServerConfig] = None,
+                    config: Optional[BftConfig] = None,
+                    max_clients: int = 16,
+                    replica_costs: Optional[List[CostModel]] = None,
+                    network_config: Optional[NetworkConfig] = None,
+                    branching: int = 64,
+                    per_object_check_cost: float = 0.0,
+                    checkpoint_cost: float = 0.0,
+                    cow_cost: float = 0.0,
+                    op_cost: float = 0.0,
+                    commit_byte_cost: float = 0.0,
+                    client_id: str = "thor-client",
+                    seed: int = 0) -> Tuple[Cluster, BaseThorTransport]:
+    """Four replicas of the *same* nondeterministic Thor server (each gets
+    a distinct seed, so caches/MOBs/flushes diverge concretely)."""
+    config = config or BftConfig(n=4)
+    base_server_config = server_config or ThorServerConfig()
+    clock_box = {}
+
+    def sim_clock() -> float:
+        cluster = clock_box.get("cluster")
+        return cluster.scheduler.now if cluster is not None else 0.0
+
+    def make_factory(i: int):
+        def factory() -> ThorConformanceWrapper:
+            cfg = ThorServerConfig(
+                cache_pages=base_server_config.cache_pages,
+                mob_bytes=base_server_config.mob_bytes,
+                vq_capacity=base_server_config.vq_capacity,
+                seed=base_server_config.seed + 101 * (i + 1),
+                disk_seek_cost=base_server_config.disk_seek_cost,
+                disk_byte_cost=base_server_config.disk_byte_cost)
+            server = ThorServer(cfg)
+            db_loader(server)
+            return ThorConformanceWrapper(
+                server, num_pages=num_pages, max_clients=max_clients,
+                clock=sim_clock, op_cost=op_cost,
+                commit_byte_cost=commit_byte_cost)
+        return factory
+
+    cluster = build_base_cluster(
+        [make_factory(i) for i in range(config.n)], config=config,
+        base_config=BaseServiceConfig(
+            branching=branching,
+            per_object_check_cost=per_object_check_cost,
+            checkpoint_cost=checkpoint_cost,
+            cow_cost=cow_cost),
+        network_config=network_config, replica_costs=replica_costs,
+        seed=seed)
+    clock_box["cluster"] = cluster
+    # Disk costs charge CPU time through the replica.
+    for replica in cluster.replicas:
+        replica.state.upcalls.server.disk.charge = replica.charge
+        replica.state.upcalls.server.charge = replica.charge
+    sync = cluster.add_client(client_id)
+    return cluster, BaseThorTransport(sync)
+
+
+def build_thor_std(db_loader: Callable[[ThorServer], None],
+                   server_config: Optional[ThorServerConfig] = None,
+                   network_config: Optional[NetworkConfig] = None,
+                   op_cost: float = 0.0,
+                   seed: int = 0) -> Tuple[ThorServer, DirectThorTransport]:
+    scheduler = Scheduler()
+    network = Network(scheduler, network_config or NetworkConfig(seed=seed))
+    server = ThorServer(server_config or ThorServerConfig())
+    db_loader(server)
+    node = _DirectThorServer("thor-server", network, server, op_cost)
+    server.disk.charge = node.charge
+    server.charge = node.charge
+    transport = DirectThorTransport(scheduler, network, "thor-server",
+                                    "thor-client-node")
+    return server, transport

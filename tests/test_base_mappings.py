@@ -1,0 +1,137 @@
+"""The reusable mapping library (paper §6 future work)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.base.mappings import KeyedArrayMapping, SlotAllocator
+
+
+def test_allocator_lowest_free_first():
+    alloc = SlotAllocator(8, reserved=1)
+    a = alloc.allocate()
+    alloc.commit(a)
+    b = alloc.allocate()
+    alloc.commit(b)
+    assert (a, b) == (1, 2)
+
+
+def test_allocator_generation_bumps_on_reuse():
+    alloc = SlotAllocator(4, reserved=0)
+    index = alloc.allocate()
+    assert alloc.commit(index) == 1
+    alloc.release(index)
+    again = alloc.allocate()
+    assert again == index
+    assert alloc.commit(again) == 2
+
+
+def test_allocator_rollback_restores_slot_without_gen_bump():
+    alloc = SlotAllocator(4)
+    index = alloc.allocate()
+    alloc.rollback(index)
+    assert alloc.generation(index) == 0
+    assert alloc.allocate() == index
+
+
+def test_allocator_rollback_ignores_committed():
+    alloc = SlotAllocator(4)
+    index = alloc.allocate()
+    alloc.commit(index)
+    alloc.rollback(index)  # no-op
+    assert alloc.is_used(index)
+
+
+def test_allocator_reserved_slots_never_allocated():
+    alloc = SlotAllocator(3, reserved=1)
+    assert alloc.allocate() == 1
+    assert alloc.allocate() == 2
+    with pytest.raises(IndexError):
+        alloc.allocate()
+    with pytest.raises(ValueError):
+        alloc.release(0)
+
+
+def test_mapping_assign_release_roundtrip():
+    mapping = KeyedArrayMapping(8, reserved=1)
+    index, gen = mapping.assign(("t", 1))
+    assert (index, gen) == (1, 1)
+    assert mapping.index_of(("t", 1)) == 1
+    assert mapping.key_of(1) == ("t", 1)
+    assert mapping.release(("t", 1)) == 1
+    assert mapping.index_of(("t", 1)) is None
+    index2, gen2 = mapping.assign(("t", 2))
+    assert (index2, gen2) == (1, 2)
+
+
+def test_mapping_duplicate_key_rejected():
+    mapping = KeyedArrayMapping(4)
+    mapping.assign("k")
+    with pytest.raises(KeyError):
+        mapping.assign("k")
+
+
+def test_mapping_reserve_bind_rollback():
+    mapping = KeyedArrayMapping(4)
+    index = mapping.reserve()
+    mapping.rollback(index)
+    index2 = mapping.reserve()
+    assert index2 == index
+    assert mapping.bind("x", index2) == 1
+
+
+def test_mapping_install_overrides():
+    mapping = KeyedArrayMapping(8)
+    mapping.assign("a")
+    mapping.install("b", 0, 5)      # transfer says slot 0 now holds "b"
+    assert mapping.key_of(0) == "b"
+    assert mapping.index_of("a") is None
+    assert mapping.generation(0) == 5
+    mapping.install(None, 0, 6)     # and then it is freed
+    assert mapping.key_of(0) is None
+    # Freed slot is allocatable again with the installed generation base.
+    index = mapping.reserve()
+    assert index == 0
+    assert mapping.bind("c", index) == 7
+
+
+def test_mapping_save_load_roundtrip():
+    mapping = KeyedArrayMapping(16, reserved=2)
+    mapping.assign(("users", 5))
+    mapping.assign(("users", 7))
+    mapping.release(("users", 5))
+    mapping.assign(("orders", "x"))
+    blob = mapping.save()
+    loaded = KeyedArrayMapping.load(blob)
+    assert loaded.index_of(("users", 7)) == mapping.index_of(("users", 7))
+    assert loaded.index_of(("orders", "x")) == \
+        mapping.index_of(("orders", "x"))
+    assert loaded.index_of(("users", 5)) is None
+    # Deterministic continuation: both allocate the same next slot/gen.
+    a = mapping.assign(("next", 1))
+    b = loaded.assign(("next", 1))
+    assert a == b
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(st.booleans(), st.integers(0, 15)), max_size=60))
+def test_mapping_determinism_property(ops):
+    """Two mappings fed the same op sequence stay identical."""
+    m1 = KeyedArrayMapping(16)
+    m2 = KeyedArrayMapping(16)
+    live = set()
+    for is_assign, key in ops:
+        for m in (m1, m2):
+            if is_assign and key not in live:
+                try:
+                    m.assign(key)
+                except IndexError:
+                    pass
+            elif not is_assign and key in live:
+                m.release(key)
+        if is_assign and key not in live:
+            if m1.index_of(key) is not None:
+                live.add(key)
+        elif not is_assign:
+            live.discard(key)
+    assert list(m1.items()) == list(m2.items())
+    assert m1.save() == m2.save()

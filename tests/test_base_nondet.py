@@ -1,0 +1,77 @@
+"""Timestamp agreement: the propose/check discipline of §2.3."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.base.nondet import ClockValue, TimestampAgreement
+
+
+def test_clock_value_roundtrip():
+    assert ClockValue.decode(ClockValue.encode(12.345678)) == \
+        pytest.approx(12.345678)
+
+
+def test_clock_value_bad_payload():
+    with pytest.raises(ValueError):
+        ClockValue.decode(b"\x00" * 3)
+
+
+def test_check_accepts_close_proposals():
+    agreement = TimestampAgreement(lambda: 100.0, delta=0.5)
+    assert agreement.check(ClockValue.encode(100.2))
+    assert agreement.check(ClockValue.encode(99.8))
+
+
+def test_check_rejects_distant_proposals():
+    """A faulty primary cannot propose wild clock values."""
+    agreement = TimestampAgreement(lambda: 100.0, delta=0.5)
+    assert not agreement.check(ClockValue.encode(200.0))
+    assert not agreement.check(ClockValue.encode(5.0))
+
+
+def test_check_rejects_non_monotonic():
+    """A faulty primary cannot freeze or rewind time — the attack the
+    paper describes against NFS client cache invalidation."""
+    agreement = TimestampAgreement(lambda: 100.0, delta=10.0)
+    agreement.accept(ClockValue.encode(100.0))
+    assert not agreement.check(ClockValue.encode(100.0))  # frozen clock
+    assert not agreement.check(ClockValue.encode(99.0))   # rewind
+    assert agreement.check(ClockValue.encode(100.5))
+
+
+def test_check_rejects_garbage_payload():
+    agreement = TimestampAgreement(lambda: 0.0)
+    assert not agreement.check(b"junk")
+    assert not agreement.check(b"")
+
+
+def test_propose_is_monotonic_even_if_clock_rewinds():
+    clock = {"now": 100.0}
+    agreement = TimestampAgreement(lambda: clock["now"])
+    first = ClockValue.decode(agreement.propose())
+    agreement.accept(ClockValue.encode(first))
+    clock["now"] = 50.0  # local clock stepped backwards
+    second = ClockValue.decode(agreement.propose())
+    assert second > first
+
+
+def test_accept_returns_seconds_and_advances_floor():
+    agreement = TimestampAgreement(lambda: 10.0)
+    value = agreement.accept(ClockValue.encode(10.25))
+    assert value == pytest.approx(10.25)
+    assert not agreement.check(ClockValue.encode(10.25))
+
+
+@given(st.lists(st.floats(min_value=0.001, max_value=0.4), min_size=1,
+                max_size=20))
+def test_accepted_sequence_is_strictly_increasing(deltas):
+    clock = {"now": 0.0}
+    agreement = TimestampAgreement(lambda: clock["now"], delta=1.0)
+    accepted = []
+    for step in deltas:
+        clock["now"] += step
+        proposal = agreement.propose()
+        if agreement.check(proposal):
+            accepted.append(agreement.accept(proposal))
+    assert accepted == sorted(accepted)
+    assert len(set(accepted)) == len(accepted)

@@ -1,0 +1,89 @@
+"""Byzantine replica behaviors: safety under arbitrary faults within f."""
+
+from repro.bft.faults import ForgedAuthBehavior, MuteBehavior, WrongReplyBehavior
+from repro.bft.statemachine import InMemoryStateManager
+from tests.conftest import make_kv_cluster
+
+put = InMemoryStateManager.op_put
+get = InMemoryStateManager.op_get
+
+
+def test_wrong_reply_from_one_replica_outvoted():
+    """f=1 lying backup: the client's f+1 vote rejects the bad result."""
+    cluster = make_kv_cluster()
+    client = cluster.add_client("client0")
+    cluster.replicas[2].behavior = WrongReplyBehavior()
+    assert client.call(put(0, b"true")) == b"ok"
+    assert client.call(get(0)) == b"true"
+
+
+def test_wrong_reply_from_designated_replica_still_correct():
+    """Even when the replica sending the full result lies, the digest
+    votes from correct replicas reject it and a retransmission or another
+    full reply wins."""
+    cluster = make_kv_cluster(client_retry_timeout=0.3)
+    client = cluster.add_client("client0")
+    for victim in range(4):
+        fresh = make_kv_cluster(client_retry_timeout=0.3)
+        c = fresh.add_client("client0")
+        fresh.replicas[victim].behavior = WrongReplyBehavior()
+        assert c.call(put(1, b"v-%d" % victim)) == b"ok"
+
+
+def test_forged_authenticators_ignored():
+    """A replica sending garbage MACs is equivalent to a mute replica."""
+    cluster = make_kv_cluster(view_change_timeout=0.5,
+                              client_retry_timeout=0.3)
+    client = cluster.add_client("client0")
+    cluster.replicas[1].behavior = ForgedAuthBehavior()
+    assert client.call(put(0, b"x")) == b"ok"
+    for r in (cluster.replicas[0], cluster.replicas[2], cluster.replicas[3]):
+        assert r.state.values[0] == b"x"
+
+
+def test_mute_backup_does_not_block_progress():
+    cluster = make_kv_cluster()
+    client = cluster.add_client("client0")
+    cluster.replicas[3].behavior = MuteBehavior()
+    for i in range(8):
+        assert client.call(put(i, b"m%d" % i)) == b"ok"
+
+
+def test_two_faults_with_f_one_can_block_liveness_but_not_safety():
+    """With 2 mute replicas out of 4 (beyond f=1), requests cannot commit;
+    but no wrong result is ever accepted."""
+    cluster = make_kv_cluster(client_retry_timeout=0.2,
+                              view_change_timeout=0.3)
+    client = cluster.add_client("client0")
+    cluster.replicas[2].behavior = MuteBehavior()
+    cluster.replicas[3].behavior = MuteBehavior()
+    box = {}
+    client.client.invoke(put(0, b"never"), lambda res: box.update(r=res))
+    cluster.run(10.0)
+    assert "r" not in box  # no reply quorum, so no acceptance
+    # Safety: no correct replica executed it either way is fine; the key
+    # assertion is that the client accepted nothing.
+
+
+def test_byzantine_client_cannot_break_replica_invariants():
+    """A client sending malformed ops gets a deterministic error result;
+    replicas neither crash nor diverge."""
+    cluster = make_kv_cluster()
+    client = cluster.add_client("client0")
+    client.call(put(0, b"good"))
+    result = client.call(b"\x00garbage-op")
+    assert result.startswith(b"__error__:")
+    # Cluster still serves correct clients identically.
+    client2 = cluster.add_client("client1")
+    assert client2.call(get(0)) == b"good"
+    states = {tuple(r.state.values) for r in cluster.replicas}
+    assert len(states) == 1
+
+
+def test_read_only_with_one_lying_replica():
+    """2f+1 tentative quorum: a single liar cannot fool a read."""
+    cluster = make_kv_cluster()
+    client = cluster.add_client("client0")
+    client.call(put(2, b"secret"))
+    cluster.replicas[1].behavior = WrongReplyBehavior()
+    assert client.call(get(2), read_only=True) == b"secret"

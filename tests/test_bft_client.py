@@ -1,0 +1,123 @@
+"""Client protocol details: retransmission, vote counting, view tracking."""
+
+import pytest
+
+from repro.bft.messages import Reply
+from repro.bft.statemachine import InMemoryStateManager
+from repro.crypto.digest import digest
+from tests.conftest import make_kv_cluster
+
+put = InMemoryStateManager.op_put
+get = InMemoryStateManager.op_get
+
+
+def test_client_retransmits_when_primary_drops_request():
+    cluster = make_kv_cluster(client_retry_timeout=0.3,
+                              view_change_timeout=5.0)
+    sync = cluster.add_client("client0")
+    dropped = {"count": 0}
+
+    def drop_first_request(src, dst, msg):
+        if (getattr(msg, "kind", "") == "request" and src == "client0"
+                and dropped["count"] == 0):
+            dropped["count"] += 1
+            return False
+        return True
+
+    cluster.network.add_filter(drop_first_request)
+    assert sync.call(put(0, b"x")) == b"ok"
+    assert cluster.clients["client0"].retransmissions >= 1
+
+
+def test_client_ignores_replies_for_other_requests():
+    cluster = make_kv_cluster()
+    sync = cluster.add_client("client0")
+    sync.call(put(0, b"first"))
+    client = cluster.clients["client0"]
+    # Inject a stale reply for an old request id mid-flight.
+    result_box = {}
+    client.invoke(put(1, b"second"), lambda res: result_box.update(r=res))
+    stale = Reply(0, 1, "client0", "replica0", b"WRONG", digest(b"WRONG"))
+    client.on_message("replica0", stale)
+    cluster.run_until(lambda: "r" in result_box)
+    assert result_box["r"] == b"ok"
+
+
+def test_client_rejects_reply_with_mismatched_digest():
+    cluster = make_kv_cluster()
+    client = cluster.add_client("client0").client
+    box = {}
+    client.invoke(put(0, b"v"), lambda res: box.update(r=res))
+    forged = Reply(0, 1, client.node_id, "replica1", b"EVIL",
+                   digest(b"not-evil"))
+    client.on_message("replica1", forged)
+    cluster.run_until(lambda: "r" in box)
+    assert box["r"] == b"ok"
+
+
+def test_client_learns_view_from_replies():
+    cluster = make_kv_cluster(view_change_timeout=0.5,
+                              client_retry_timeout=0.3)
+    sync = cluster.add_client("client0")
+    sync.call(put(0, b"a"))
+    assert cluster.clients["client0"].view_estimate == 0
+    cluster.replicas[0].crash()
+    sync.call(put(1, b"b"))
+    assert cluster.clients["client0"].view_estimate >= 1
+    # Next request goes straight to the new primary: no *timeout-driven*
+    # retransmission needed (at most the instant full-reply nudge when the
+    # crashed replica happens to be the designated replier).
+    before = cluster.clients["client0"].retransmissions
+    start = cluster.scheduler.now
+    sync.call(put(2, b"c"))
+    assert cluster.clients["client0"].retransmissions <= before + 1
+    assert cluster.scheduler.now - start < \
+        cluster.config.client_retry_timeout
+
+
+def test_votes_from_same_replica_counted_once():
+    cluster = make_kv_cluster()
+    client = cluster.add_client("client0").client
+    box = {}
+    client.invoke(put(0, b"v"), lambda res: box.update(r=res))
+    result = b"ok"
+    reply = Reply(0, 1, client.node_id, "replica2", result, digest(result))
+    # The same replica repeating itself must not reach the f+1 quorum.
+    client.on_message("replica2", reply)
+    client.on_message("replica2", reply)
+    client.on_message("replica2", reply)
+    assert "r" not in box
+    cluster.run_until(lambda: "r" in box)
+    assert box["r"] == b"ok"
+
+
+def test_reply_from_non_replica_ignored():
+    cluster = make_kv_cluster()
+    client = cluster.add_client("client0").client
+    box = {}
+    client.invoke(put(0, b"v"), lambda res: box.update(r=res))
+    fake = Reply(0, 1, client.node_id, "intruder", b"x", digest(b"x"))
+    client.on_message("intruder", fake)
+    assert "r" not in box
+    cluster.run_until(lambda: "r" in box)
+
+
+def test_read_only_falls_back_to_ordered_path():
+    """If tentative replies cannot reach a 2f+1 quorum, the client
+    re-issues the read through ordering and still completes."""
+    cluster = make_kv_cluster(client_retry_timeout=0.2)
+    sync = cluster.add_client("client0")
+    sync.call(put(3, b"fallback"))
+
+    def drop_tentative_replies(src, dst, msg):
+        if (getattr(msg, "kind", "") == "reply" and msg.tentative
+                and src in ("replica2", "replica3")):
+            return False
+        return True
+
+    cluster.network.add_filter(drop_tentative_replies)
+    # Only 2 tentative replies can arrive (< 2f+1 = 3): the client times
+    # out, downgrades to the ordered path, and gets the result.
+    assert sync.call(get(3), read_only=True) == b"fallback"
+    assert cluster.clients["client0"].retransmissions >= 2
+    assert cluster.tracer.find("pre_prepare_sent")

@@ -1,0 +1,113 @@
+"""Liveness mechanisms added around view changes and recovery:
+
+- future-view message buffering (a new primary's pre-prepare racing its
+  NEW-VIEW must not be lost);
+- backups relaying waiting requests to the new primary;
+- NEW-VIEW forwarding in CERT replies (recovered replicas catch up to the
+  current view);
+- the fast full-reply retransmit when the designated replier is down.
+"""
+
+from repro.bft.faults import MuteBehavior
+from repro.bft.statemachine import InMemoryStateManager
+from tests.conftest import make_kv_cluster
+
+put = InMemoryStateManager.op_put
+get = InMemoryStateManager.op_get
+
+
+def test_request_completes_within_one_view_change():
+    """After the view change, the relayed request must complete without
+    waiting for extra client retransmissions."""
+    cluster = make_kv_cluster(view_change_timeout=0.5,
+                              client_retry_timeout=10.0)  # retransmit ~never
+    client = cluster.add_client("client0")
+    client.call(put(0, b"warm"))
+    # Client now knows the primary; crash it mid-stream.  The client's
+    # huge retry timeout means only the *replica relay* path can save the
+    # next request (the client multicasts once at its first retry... so
+    # use a modest first retry, then none).
+    cluster = make_kv_cluster(view_change_timeout=0.4,
+                              client_retry_timeout=0.3)
+    client = cluster.add_client("client0")
+    client.call(put(0, b"warm"))
+    cluster.replicas[0].crash()
+    start = cluster.scheduler.now
+    assert client.call(put(1, b"after")) == b"ok"
+    elapsed = cluster.scheduler.now - start
+    # one retry (0.3) + one vc timeout (0.4) + protocol time; without the
+    # relay-on-enter-view mechanism this needs a second retry cycle.
+    assert elapsed < 1.4, f"took {elapsed:.2f}s — relay path broken?"
+
+
+def test_future_view_pre_prepare_buffered_not_lost():
+    """A pre-prepare from a view we have not entered yet is stashed and
+    replayed on view entry, not dropped (the race a new primary's first
+    proposal loses against its own NEW-VIEW on a jittery network)."""
+    from repro.bft.messages import PrePrepare, Request
+    cluster = make_kv_cluster()
+    client = cluster.add_client("client0")
+    client.call(put(0, b"seed"))
+    victim = cluster.replicas[2]
+    future_primary = cluster.replicas[1]  # primary of view 1
+
+    request = Request("client0", 77, put(1, b"from-the-future"))
+    pp = PrePrepare(1, victim.last_executed + 1, (request,), b"")
+    future_primary.authenticate(pp)
+    victim.on_message(future_primary.node_id, pp)
+
+    # Not processed (we are in view 0), but not lost either.
+    assert victim.log.get(pp.seq) is None \
+        or victim.log.get(pp.seq).pre_prepare is None
+    assert any(m is pp for _, m in victim._future_view_msgs)
+
+    # Entering view 1 replays it.
+    victim.view = 1
+    victim.redeliver_future_msgs()
+    slot = victim.log.get(pp.seq)
+    assert slot is not None
+    assert slot.pre_prepare.batch_digest() == pp.batch_digest()
+    assert not victim._future_view_msgs
+
+
+def test_recovered_replica_catches_up_to_current_view():
+    cluster = make_kv_cluster(view_change_timeout=0.4,
+                              client_retry_timeout=0.3,
+                              checkpoint_interval=4, reboot_delay=0.5)
+    client = cluster.add_client("client0")
+    for i in range(6):
+        client.call(put(i, b"v%d" % i))
+    lagger = cluster.replicas[3]
+    lagger.recovery.start_recovery()
+    # While it reboots, force a view change.
+    cluster.replicas[0].crash()
+    client.call(put(6, b"post-vc"))
+    cluster.run(20.0)
+    assert not lagger.recovery.recovering
+    # The CERT replies carried the NEW-VIEW: the lagger joined view >= 1.
+    assert lagger.view >= 1
+    client.call(put(7, b"both"))
+    cluster.run(2.0)
+    assert lagger.state.values[:8] == [b"v%d" % i for i in range(6)] + \
+        [b"post-vc", b"both"]
+
+
+def test_client_accepts_when_designated_replier_is_mute():
+    """f+1 digests + no full result triggers the immediate retransmit;
+    cached replies come back full, so the op completes without waiting a
+    whole retry timeout per op."""
+    cluster = make_kv_cluster(client_retry_timeout=5.0)
+    client = cluster.add_client("client0")
+    # Mute a replica's *replies* only (it keeps ordering).
+    mute_replies_of = cluster.replicas[1].node_id
+
+    def drop_replies(src, dst, msg):
+        return not (getattr(msg, "kind", "") == "reply"
+                    and src == mute_replies_of)
+
+    cluster.network.add_filter(drop_replies)
+    start = cluster.scheduler.now
+    for i in range(8):  # seq i+1: designated = (i+1) % 4
+        assert client.call(put(i, b"d%d" % i)) == b"ok"
+    # With a 5 s retry timeout, finishing quickly proves the nudge path.
+    assert cluster.scheduler.now - start < 2.0

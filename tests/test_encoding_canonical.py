@@ -1,0 +1,85 @@
+"""Property tests for the canonical tuple encoding."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.encoding.canonical import canonical, decanonical
+from repro.errors import EncodingError
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(10 ** 30), max_value=10 ** 30),
+    st.binary(max_size=100),
+    st.text(max_size=50),
+)
+values = st.recursive(scalars,
+                      lambda children: st.lists(children, max_size=6)
+                      .map(tuple),
+                      max_leaves=25)
+
+
+def normalize(value):
+    if isinstance(value, list):
+        return tuple(normalize(v) for v in value)
+    if isinstance(value, tuple):
+        return tuple(normalize(v) for v in value)
+    return value
+
+
+@given(values)
+def test_roundtrip(value):
+    assert decanonical(canonical(value)) == normalize(value)
+
+
+@given(values, values)
+def test_injective(a, b):
+    if normalize(a) != normalize(b):
+        assert canonical(a) != canonical(b)
+
+
+@given(values)
+def test_deterministic(value):
+    assert canonical(value) == canonical(value)
+
+
+def test_type_tags_distinguish_lookalikes():
+    assert canonical(0) != canonical(False)
+    assert canonical(1) != canonical(True)
+    assert canonical(b"x") != canonical("x")
+    assert canonical(()) != canonical(None)
+    assert canonical((1,)) != canonical(1)
+
+
+def test_unencodable_type_rejected():
+    with pytest.raises(EncodingError):
+        canonical({"dict": 1})
+    with pytest.raises(EncodingError):
+        canonical(object())
+
+
+def test_trailing_bytes_rejected():
+    blob = canonical(42) + b"\x00"
+    with pytest.raises(EncodingError):
+        decanonical(blob)
+
+
+def test_truncation_rejected():
+    blob = canonical((1, 2, 3))
+    with pytest.raises(EncodingError):
+        decanonical(blob[:-2])
+
+
+def test_unknown_tag_rejected():
+    with pytest.raises(EncodingError):
+        decanonical(b"Z")
+
+
+def test_large_int_roundtrip():
+    huge = 2 ** 200
+    assert decanonical(canonical(huge)) == huge
+    assert decanonical(canonical(-huge)) == -huge
+
+
+def test_float_roundtrip():
+    assert decanonical(canonical(3.14159)) == 3.14159

@@ -1,0 +1,86 @@
+"""Harness utilities: report rendering, complexity counting, micro-benches."""
+
+import pytest
+
+from repro.harness.complexity import (
+    complexity_report,
+    count_statements,
+)
+from repro.harness.report import (
+    assert_shape,
+    format_table,
+    overhead_pct,
+)
+from repro.workloads.microbench import (
+    build_kv_cluster,
+    concurrent_ops,
+    sequential_ops,
+)
+
+
+def test_overhead_pct():
+    assert overhead_pct(130, 100) == pytest.approx(30.0)
+    assert overhead_pct(100, 100) == 0.0
+    assert overhead_pct(5, 0) == 0.0
+
+
+def test_assert_shape_bands():
+    assert_shape("ok", 25, 20, 30)
+    with pytest.raises(AssertionError):
+        assert_shape("too low", 10, 20, 30)
+    with pytest.raises(AssertionError):
+        assert_shape("too high", 40, 20, 30)
+
+
+def test_format_table_alignment():
+    table = format_table("Title", ["a", "bb"], [(1, 2.5), ("x", 100.0)])
+    lines = table.splitlines()
+    assert lines[0] == "Title"
+    assert len({len(line) for line in lines[2:4]}) == 1  # header == rule
+
+
+def test_count_statements_ignores_comments_and_blanks():
+    source = '''
+# a comment
+
+x = 1  # inline comment
+def f():
+    """Docstring is a statement (expression stmt)."""
+    return x
+'''
+    # x=1, def, docstring-expr, return -> 4
+    assert count_statements(source) == 4
+
+
+def test_complexity_report_covers_all_components():
+    rows = {row.component: row.statements for row in complexity_report()}
+    assert rows["BFT library"] > rows["BASE library"]
+    assert all(count > 0 for count in rows.values())
+    assert "NFS conformance wrapper" in rows
+    assert "wrapped Thor implementation" in rows
+
+
+def test_sequential_microbench_counts():
+    cluster = build_kv_cluster()
+    result = sequential_ops(cluster, 10, "t")
+    assert result.operations == 10
+    assert result.messages > 10  # protocol amplification
+    assert result.latency > 0
+    assert result.throughput > 0
+
+
+def test_concurrent_microbench_completes_all():
+    cluster = build_kv_cluster()
+    result = concurrent_ops(cluster, clients=4, per_client=5, label="t")
+    assert result.operations == 20
+    # All 20 writes actually executed on the replicas.
+    executed = [len([op for _, _, _, op in r.state.executed_ops if op])
+                for r in cluster.replicas]
+    assert max(executed) >= 20
+
+
+def test_read_only_microbench_uses_fewer_messages():
+    writes = sequential_ops(build_kv_cluster(), 20, "w")
+    reads = sequential_ops(build_kv_cluster(), 20, "r", read_only=True)
+    assert reads.messages < writes.messages
+    assert reads.latency < writes.latency

@@ -1,0 +1,123 @@
+"""Wrapper-level concurrency control (§2.4): conflict analysis + waves."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.encoding.canonical import canonical
+from repro.nfs.concurrency import (
+    ALLOCATOR,
+    access_set,
+    concurrent_speedup,
+    schedule_waves,
+)
+from repro.nfs.spec import oid_bytes
+
+FH = {i: oid_bytes(i, 1) for i in range(10)}
+SATTR = (0o644, 0, 0, -1, -1, -1)
+
+
+def op(proc, *args):
+    return canonical((proc,) + args)
+
+
+def test_reads_of_same_object_do_not_conflict():
+    a = access_set(op("read", FH[3], 0, 100))
+    b = access_set(op("getattr", FH[3]))
+    assert not a.conflicts_with(b)
+
+
+def test_write_conflicts_with_read_of_same_object():
+    write = access_set(op("write", FH[3], 0, b"x"))
+    read = access_set(op("read", FH[3], 0, 100))
+    assert write.conflicts_with(read)
+    assert read.conflicts_with(write)
+
+
+def test_writes_to_different_files_do_not_conflict():
+    a = access_set(op("write", FH[3], 0, b"x"))
+    b = access_set(op("write", FH[4], 0, b"y"))
+    assert not a.conflicts_with(b)
+
+
+def test_creates_conflict_through_the_allocator():
+    """Two creates in different directories still race on entry
+    allocation (the deterministic lowest-free-slot rule)."""
+    a = access_set(op("create", FH[1], "x", SATTR))
+    b = access_set(op("create", FH[2], "y", SATTR))
+    assert ALLOCATOR in a.writes
+    assert a.conflicts_with(b)
+
+
+def test_rename_conflicts_with_both_directories():
+    move = access_set(op("rename", FH[1], "a", FH[2], "b"))
+    read1 = access_set(op("readdir", FH[1]))
+    read2 = access_set(op("readdir", FH[2]))
+    other = access_set(op("readdir", FH[5]))
+    assert move.conflicts_with(read1)
+    assert move.conflicts_with(read2)
+    assert not move.conflicts_with(other)
+
+
+def test_malformed_op_serializes_conservatively():
+    bogus = access_set(b"\x00garbage")
+    anything = access_set(op("read", FH[0], 0, 1))
+    assert bogus.conflicts_with(bogus)
+    # It conflicts with itself and with creates (via the allocator)...
+    create = access_set(op("create", FH[1], "x", SATTR))
+    assert bogus.conflicts_with(create)
+
+
+def test_waves_preserve_conflict_order():
+    ops = [
+        op("write", FH[1], 0, b"a"),   # 0
+        op("write", FH[2], 0, b"b"),   # 1: no conflict with 0 -> wave 0
+        op("read", FH[1], 0, 10),      # 2: conflicts with 0 -> wave 1
+        op("write", FH[1], 5, b"c"),   # 3: conflicts with 0 and 2 -> wave 2
+        op("getattr", FH[2]),          # 4: conflicts with 1 -> wave 1
+    ]
+    waves = schedule_waves(ops)
+    assert waves == [[0, 1], [2, 4], [3]]
+
+
+def test_independent_batch_fully_parallel():
+    ops = [op("write", FH[i], 0, b"x") for i in range(8)]
+    assert schedule_waves(ops) == [list(range(8))]
+    assert concurrent_speedup(ops) == 8.0
+
+
+def test_conflicting_batch_fully_serial():
+    ops = [op("write", FH[1], 0, b"%d" % i) for i in range(5)]
+    assert [len(w) for w in schedule_waves(ops)] == [1] * 5
+    assert concurrent_speedup(ops) == 1.0
+
+
+def test_empty_batch():
+    assert schedule_waves([]) == []
+    assert concurrent_speedup([]) == 1.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.tuples(st.sampled_from(["read", "write", "getattr"]),
+                          st.integers(0, 5)), max_size=12))
+def test_waves_never_reorder_conflicts(spec):
+    """Property: for any two conflicting ops, the earlier one is in an
+    earlier (or equal... strictly earlier) wave."""
+    ops = []
+    for proc, idx in spec:
+        if proc == "write":
+            ops.append(op("write", FH[idx], 0, b"v"))
+        elif proc == "read":
+            ops.append(op("read", FH[idx], 0, 10))
+        else:
+            ops.append(op("getattr", FH[idx]))
+    waves = schedule_waves(ops)
+    wave_of = {}
+    for w, members in enumerate(waves):
+        for i in members:
+            wave_of[i] = w
+    assert sorted(wave_of) == list(range(len(ops)))
+    footprints = [access_set(o) for o in ops]
+    for i in range(len(ops)):
+        for j in range(i + 1, len(ops)):
+            if footprints[i].conflicts_with(footprints[j]):
+                assert wave_of[i] < wave_of[j]

@@ -1,0 +1,156 @@
+"""End-to-end BASEFS: the full stack — NfsClient → BFT → wrappers →
+heterogeneous backends — plus the NFS-std baseline path."""
+
+import pytest
+
+from repro.bft.config import BftConfig
+from repro.nfs.backends import ALL_BACKENDS, LinuxExt2Backend
+from repro.nfs.client import NfsClient
+from repro.nfs.protocol import NfsError, NfsStatus
+from repro.nfs.service import build_basefs, build_nfs_std
+from repro.nfs.spec import AbstractSpecConfig
+
+SPEC = AbstractSpecConfig(array_size=128)
+
+
+def small_config(**kw):
+    defaults = dict(n=4, checkpoint_interval=8, view_change_timeout=2.0,
+                    client_retry_timeout=1.0)
+    defaults.update(kw)
+    return BftConfig(**defaults)
+
+
+@pytest.fixture
+def homogeneous():
+    cluster, transport = build_basefs([LinuxExt2Backend] * 4, spec=SPEC,
+                                      config=small_config(), branching=8)
+    return cluster, NfsClient(transport)
+
+
+@pytest.fixture
+def heterogeneous():
+    cluster, transport = build_basefs(list(ALL_BACKENDS), spec=SPEC,
+                                      config=small_config(), branching=8)
+    return cluster, NfsClient(transport)
+
+
+def exercise(fs: NfsClient):
+    fs.mkdir("/proj")
+    fs.mkdir("/proj/src")
+    fs.write_file("/proj/src/main.c", b"int main() { return 0; }")
+    fs.write_file("/proj/README", b"docs " * 100)
+    fs.symlink("/proj/latest", "src/main.c")
+    assert fs.read_file("/proj/src/main.c") == b"int main() { return 0; }"
+    # NFS-std returns the vendor's concrete order; BASEFS sorts (that is
+    # part of the abstract spec).  Compare order-insensitively here.
+    assert sorted(fs.listdir("/proj")) == ["README", "latest", "src"]
+    assert fs.readlink("/proj/latest") == "src/main.c"
+    fs.rename("/proj/README", "/proj/README.md")
+    assert fs.exists("/proj/README.md")
+    assert not fs.exists("/proj/README")
+    fs.remove("/proj/src/main.c")
+    fs.rmdir("/proj/src")
+
+
+def test_homogeneous_basefs_full_workload(homogeneous):
+    cluster, fs = homogeneous
+    exercise(fs)
+    stat = fs.getattr("/proj")
+    assert stat.fileid > 0
+
+
+def test_heterogeneous_basefs_full_workload(heterogeneous):
+    """Four different operating systems, one replicated file service."""
+    cluster, fs = heterogeneous
+    exercise(fs)
+    # The replicas' *abstract* checkpoints agreed (stable advanced).
+    cluster.run(2.0)
+    assert max(r.last_stable for r in cluster.replicas) >= 8
+
+
+def test_nfs_std_baseline_same_workload():
+    backend, transport = build_nfs_std(LinuxExt2Backend)
+    fs = NfsClient(transport)
+    exercise(fs)
+    assert backend.ops_served > 0
+
+
+def test_heterogeneous_with_one_crashed_replica(heterogeneous):
+    cluster, fs = heterogeneous
+    fs.mkdir("/d")
+    cluster.replicas[3].crash()
+    fs.write_file("/d/still-works", b"yes")
+    assert fs.read_file("/d/still-works") == b"yes"
+
+
+def test_heterogeneous_recovery_mid_workload(heterogeneous):
+    cluster, fs = heterogeneous
+    fs.mkdir("/work")
+    for i in range(6):
+        fs.write_file(f"/work/f{i}", b"payload %d" % i)
+    cluster.run(1.0)
+    victim = cluster.replicas[1]
+    victim.config.reboot_delay = 0.5
+    victim.recovery.start_recovery()
+    for i in range(6, 10):
+        fs.write_file(f"/work/f{i}", b"payload %d" % i)
+    cluster.run(30.0)
+    assert not victim.recovery.recovering
+    # The recovered Solaris replica serves the same abstract state.
+    roots = {r.state.tree.root_digest for r in cluster.replicas
+             if not r.transfer.active}
+    cluster.run(5.0)
+    assert victim.state.tree.root_digest == \
+        cluster.replicas[0].state.tree.root_digest
+
+
+def test_attribute_cache_reduces_calls(homogeneous):
+    cluster, fs = homogeneous
+    fs.write_file("/cached", b"x")
+    fs.getattr("/cached")
+    calls_before = fs.calls_issued
+    for _ in range(5):
+        fs.getattr("/cached")
+    assert fs.calls_issued == calls_before  # all served from cache
+    assert fs.cache_hits >= 5
+
+
+def test_data_cache_revalidates_by_mtime(homogeneous):
+    cluster, fs = homogeneous
+    fs.write_file("/data", b"version1")
+    assert fs.read_file("/data") == b"version1"
+    calls_before = fs.calls_issued
+    assert fs.read_file("/data") == b"version1"   # cache hit
+    assert fs.calls_issued == calls_before
+    fs.drop_caches()
+    fs.write_file("/data", b"version2")
+    assert fs.read_file("/data") == b"version2"
+
+
+def test_errors_propagate_to_client(homogeneous):
+    cluster, fs = homogeneous
+    with pytest.raises(NfsError) as err:
+        fs.read_file("/does/not/exist")
+    assert err.value.status == NfsStatus.NFSERR_NOENT
+    fs.mkdir("/dir")
+    with pytest.raises(NfsError) as err:
+        fs.remove("/dir")
+    assert err.value.status == NfsStatus.NFSERR_ISDIR
+
+
+def test_basefs_and_nfs_std_give_identical_results():
+    """Differential test: the replicated service is functionally
+    indistinguishable from the implementation it reuses (modulo times)."""
+    cluster, transport = build_basefs([LinuxExt2Backend] * 4, spec=SPEC,
+                                      config=small_config(), branching=8)
+    base_fs = NfsClient(transport)
+    _, std_transport = build_nfs_std(LinuxExt2Backend)
+    std_fs = NfsClient(std_transport)
+    for fs in (base_fs, std_fs):
+        exercise(fs)
+    assert sorted(base_fs.listdir("/proj")) == sorted(std_fs.listdir("/proj"))
+    assert base_fs.read_file("/proj/README.md") == \
+        std_fs.read_file("/proj/README.md")
+    a = base_fs.getattr("/proj/README.md")
+    b = std_fs.getattr("/proj/README.md")
+    assert (a.ftype, a.mode, a.size) == (b.ftype, b.mode, b.size)

@@ -1,0 +1,182 @@
+"""Unit tests for the simulated network and node base class."""
+
+from dataclasses import dataclass
+
+from repro.sim import LinkConfig, Network, NetworkConfig, Node, Scheduler
+
+
+@dataclass
+class Ping:
+    kind: str = "ping"
+    payload: str = ""
+
+    def wire_size(self):
+        return 64 + len(self.payload)
+
+
+class Recorder(Node):
+    def __init__(self, node_id, network):
+        super().__init__(node_id, network)
+        self.received = []
+
+    def handle_ping(self, src, msg):
+        self.received.append((src, msg.payload, self.now))
+
+
+def make_net(seed=0, **link_kwargs):
+    sched = Scheduler()
+    link = LinkConfig(**link_kwargs) if link_kwargs else LinkConfig()
+    net = Network(sched, NetworkConfig(seed=seed, default_link=link))
+    return sched, net
+
+
+def test_point_to_point_delivery():
+    sched, net = make_net(jitter=0.0)
+    a = Recorder("a", net)
+    b = Recorder("b", net)
+    a.send("b", Ping(payload="hi"))
+    sched.run()
+    assert len(b.received) == 1
+    src, payload, t = b.received[0]
+    assert src == "a" and payload == "hi"
+    assert t > 0  # latency + bandwidth charged
+
+
+def test_bandwidth_charge_scales_with_size():
+    sched, net = make_net(jitter=0.0)
+    a = Recorder("a", net)
+    b = Recorder("b", net)
+    a.send("b", Ping(payload="x"))
+    a.send("b", Ping(payload="y" * 100_000))
+    sched.run()
+    t_small = b.received[0][2]
+    t_big = b.received[1][2]
+    assert t_big - t_small > 0.001  # 100 KB at 100 Mb/s ~ 8 ms
+
+
+def test_multicast_reaches_all_destinations():
+    sched, net = make_net()
+    a = Recorder("a", net)
+    others = [Recorder(f"r{i}", net) for i in range(3)]
+    a.multicast([r.node_id for r in others], Ping(payload="m"))
+    sched.run()
+    assert all(len(r.received) == 1 for r in others)
+
+
+def test_broadcast_excludes_sender():
+    sched, net = make_net()
+    a = Recorder("a", net)
+    b = Recorder("b", net)
+    net.broadcast("a", Ping(payload="b"))
+    sched.run()
+    assert len(a.received) == 0
+    assert len(b.received) == 1
+
+
+def test_partition_drops_messages_and_heals():
+    sched, net = make_net()
+    a = Recorder("a", net)
+    b = Recorder("b", net)
+    net.partition("a", "b")
+    a.send("b", Ping())
+    sched.run()
+    assert b.received == []
+    assert net.messages_dropped == 1
+    net.heal("a", "b")
+    a.send("b", Ping())
+    sched.run()
+    assert len(b.received) == 1
+
+
+def test_drop_rate_loses_some_messages():
+    sched, net = make_net(seed=42, drop_rate=0.5, jitter=0.0)
+    a = Recorder("a", net)
+    b = Recorder("b", net)
+    for _ in range(200):
+        a.send("b", Ping())
+    sched.run()
+    assert 30 < len(b.received) < 170
+
+
+def test_filter_can_drop_selectively():
+    sched, net = make_net()
+    a = Recorder("a", net)
+    b = Recorder("b", net)
+    net.add_filter(lambda s, d, m: m.payload != "evil")
+    a.send("b", Ping(payload="evil"))
+    a.send("b", Ping(payload="good"))
+    sched.run()
+    assert [p for _, p, _ in b.received] == ["good"]
+
+
+def test_crashed_node_neither_sends_nor_receives():
+    sched, net = make_net()
+    a = Recorder("a", net)
+    b = Recorder("b", net)
+    b.crash()
+    a.send("b", Ping())
+    sched.run()
+    assert b.received == []
+    a.crash()
+    a.send("b", Ping())
+    sched.run()
+    assert net.messages_sent == 1  # second send suppressed at the node
+
+
+def test_restarted_node_receives_again():
+    sched, net = make_net()
+    a = Recorder("a", net)
+    b = Recorder("b", net)
+    b.crash()
+    a.send("b", Ping())
+    sched.run()
+    b.restart_node()
+    a.send("b", Ping())
+    sched.run()
+    assert len(b.received) == 1
+
+
+def test_per_link_override():
+    sched, net = make_net(jitter=0.0)
+    a = Recorder("a", net)
+    b = Recorder("b", net)
+    c = Recorder("c", net)
+    net.set_link("a", "c", LinkConfig(latency=1.0, jitter=0.0))
+    a.send("b", Ping())
+    a.send("c", Ping())
+    sched.run()
+    assert b.received[0][2] < 0.01
+    assert c.received[0][2] >= 1.0
+
+
+def test_determinism_same_seed_same_delivery_times():
+    def run(seed):
+        sched, net = make_net(seed=seed, jitter=0.001)
+        a = Recorder("a", net)
+        b = Recorder("b", net)
+        for _ in range(20):
+            a.send("b", Ping())
+        sched.run()
+        return [t for _, _, t in b.received]
+
+    assert run(7) == run(7)
+    assert run(7) != run(8)
+
+
+def test_timer_restart_and_stop():
+    sched, net = make_net()
+    fired = []
+    node = Recorder("a", net)
+    timer = node.make_timer(1.0, lambda: fired.append(sched.now))
+    timer.start()
+    assert timer.running
+    sched.run()
+    assert fired == [1.0]
+    assert not timer.running
+    timer.start()
+    timer.stop()
+    sched.run()
+    assert fired == [1.0]
+    timer.restart(2.0)
+    sched.run()
+    assert fired == [1.0, 3.0]

@@ -1,0 +1,117 @@
+"""Unit tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.sim import Scheduler
+
+
+def test_events_run_in_time_order():
+    sched = Scheduler()
+    order = []
+    sched.schedule(3.0, order.append, "c")
+    sched.schedule(1.0, order.append, "a")
+    sched.schedule(2.0, order.append, "b")
+    sched.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_same_time_events_run_fifo():
+    sched = Scheduler()
+    order = []
+    for i in range(10):
+        sched.schedule(1.0, order.append, i)
+    sched.run()
+    assert order == list(range(10))
+
+
+def test_clock_advances_to_event_time():
+    sched = Scheduler()
+    seen = []
+    sched.schedule(2.5, lambda: seen.append(sched.now))
+    sched.run()
+    assert seen == [2.5]
+    assert sched.now == 2.5
+
+
+def test_cancelled_event_does_not_fire():
+    sched = Scheduler()
+    fired = []
+    ev = sched.schedule(1.0, fired.append, "x")
+    ev.cancel()
+    sched.run()
+    assert fired == []
+
+
+def test_negative_delay_rejected():
+    sched = Scheduler()
+    with pytest.raises(ValueError):
+        sched.schedule(-0.1, lambda: None)
+
+
+def test_events_scheduled_during_run_execute():
+    sched = Scheduler()
+    order = []
+
+    def outer():
+        order.append("outer")
+        sched.schedule(1.0, lambda: order.append("inner"))
+
+    sched.schedule(1.0, outer)
+    sched.run()
+    assert order == ["outer", "inner"]
+    assert sched.now == 2.0
+
+
+def test_run_until_stops_at_time_and_advances_clock():
+    sched = Scheduler()
+    fired = []
+    sched.schedule(1.0, fired.append, 1)
+    sched.schedule(5.0, fired.append, 5)
+    sched.run_until(3.0)
+    assert fired == [1]
+    assert sched.now == 3.0
+    sched.run()
+    assert fired == [1, 5]
+
+
+def test_run_until_idle_or_predicate():
+    sched = Scheduler()
+    state = {"done": False}
+    sched.schedule(1.0, lambda: None)
+    sched.schedule(2.0, lambda: state.update(done=True))
+    sched.schedule(3.0, lambda: pytest.fail("should not run past predicate"))
+    assert sched.run_until_idle_or(lambda: state["done"])
+
+
+def test_run_until_idle_or_returns_false_when_queue_drains():
+    sched = Scheduler()
+    sched.schedule(1.0, lambda: None)
+    assert not sched.run_until_idle_or(lambda: False)
+
+
+def test_schedule_at_absolute_time():
+    sched = Scheduler()
+    seen = []
+    sched.schedule(1.0, lambda: sched.schedule_at(5.0, lambda: seen.append(sched.now)))
+    sched.run()
+    assert seen == [5.0]
+
+
+def test_halt_stops_run():
+    sched = Scheduler()
+    order = []
+    sched.schedule(1.0, order.append, "a")
+    sched.schedule(2.0, sched.halt)
+    sched.schedule(3.0, order.append, "c")
+    sched.run()
+    assert order == ["a"]
+    sched.run()
+    assert order == ["a", "c"]
+
+
+def test_pending_counts_uncancelled():
+    sched = Scheduler()
+    e1 = sched.schedule(1.0, lambda: None)
+    sched.schedule(2.0, lambda: None)
+    e1.cancel()
+    assert sched.pending() == 1

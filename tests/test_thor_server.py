@@ -1,0 +1,208 @@
+"""Thor server unit tests: OCC validation, MOB, cache, invalidations."""
+
+import pytest
+
+from repro.thor.mob import ModifiedObjectBuffer
+from repro.thor.cache import PageCache
+from repro.thor.objects import ObjectRecord
+from repro.thor.orefs import make_oref, oref_onum, oref_pagenum
+from repro.thor.pages import Page, PageStore
+from repro.thor.server import ThorServer, ThorServerConfig, ThorError
+from repro.thor.vq import ValidationQueue
+
+
+def rec(value):
+    return ObjectRecord("Item", (value,)).encode()
+
+
+def loaded_server(seed=0, **cfg):
+    server = ThorServer(ThorServerConfig(seed=seed, **cfg))
+    for pagenum in range(4):
+        page = Page(pagenum, {onum: rec(pagenum * 100 + onum)
+                              for onum in range(8)})
+        server.load_page(page)
+    return server
+
+
+def test_oref_packing_roundtrip():
+    oref = make_oref(12345, 678)
+    assert oref_pagenum(oref) == 12345
+    assert oref_onum(oref) == 678
+    with pytest.raises(ValueError):
+        make_oref(2**21, 0)
+    with pytest.raises(ValueError):
+        make_oref(0, 4096)
+
+
+def test_page_encode_decode_roundtrip():
+    page = Page(3, {1: b"one", 5: b"five"})
+    assert Page.decode(3, page.encode()).objects == page.objects
+
+
+def test_fetch_requires_session():
+    server = loaded_server()
+    with pytest.raises(ThorError):
+        server.fetch("nobody", 0)
+
+
+def test_fetch_returns_page_and_tracks_directory():
+    server = loaded_server()
+    server.start_session("c1")
+    result = server.fetch("c1", 2)
+    page = Page.decode(2, result.page_blob)
+    assert page.objects[3] == rec(203)
+    assert "c1" in server.directory.clients_caching(2)
+
+
+def test_commit_applies_via_mob_not_disk():
+    server = loaded_server()
+    server.start_session("c1")
+    server.fetch("c1", 0)
+    oref = make_oref(0, 1)
+    result = server.commit("c1", 1000, frozenset([oref]),
+                           {oref: rec(b"updated")})
+    assert result.committed
+    assert len(server.mob) == 1
+    # Disk still has the old value; the *current* page has the new one.
+    disk_page = Page.decode(0, server.disk.raw(0))
+    assert disk_page.objects[1] == rec(1)
+    assert server.current_page(0).objects[1] == rec(b"updated")
+
+
+def test_occ_write_write_conflict_aborts_earlier_timestamp():
+    server = loaded_server()
+    for c in ("c1", "c2"):
+        server.start_session(c)
+    oref = make_oref(0, 0)
+    assert server.commit("c2", 2000, frozenset([oref]),
+                         {oref: rec("late")}).committed
+    # c1's txn has an *earlier* timestamp but arrives after: rejected.
+    assert not server.commit("c1", 1500, frozenset([oref]),
+                             {oref: rec("early")}).committed
+    assert server.aborts == 1
+
+
+def test_occ_read_write_conflict():
+    server = loaded_server()
+    for c in ("c1", "c2"):
+        server.start_session(c)
+    oref = make_oref(1, 0)
+    other = make_oref(1, 1)
+    assert server.commit("c2", 2000, frozenset([oref]), {}).committed
+    # c1 wrote what c2 read, with an earlier timestamp: abort.
+    assert not server.commit("c1", 1500, frozenset([oref]),
+                             {oref: rec("x")}).committed
+    # Disjoint objects with earlier timestamps are fine.
+    assert server.commit("c1", 1800, frozenset([other]),
+                         {other: rec("y")}).committed
+
+
+def test_commit_with_invalid_object_aborts():
+    server = loaded_server()
+    for c in ("reader", "writer"):
+        server.start_session(c)
+    server.fetch("reader", 0)
+    oref = make_oref(0, 2)
+    assert server.commit("writer", 1000, frozenset([oref]),
+                         {oref: rec("w")}).committed
+    assert oref in server.invalid_sets.get("reader")
+    # reader uses the stale object without acking the invalidation: abort.
+    assert not server.commit("reader", 2000, frozenset([oref]),
+                             {oref: rec("r")}).committed
+    # After acking, a retry with fresh data commits.
+    result = server.commit("reader", 3000, frozenset([oref]),
+                           {oref: rec("r2")}, invalidation_acks=(oref,))
+    assert result.committed
+
+
+def test_invalidations_only_for_clients_caching_the_page():
+    server = loaded_server()
+    for c in ("c1", "c2", "c3"):
+        server.start_session(c)
+    server.fetch("c1", 0)
+    server.fetch("c2", 1)
+    oref = make_oref(0, 0)
+    server.commit("c3", 1000, frozenset([oref]), {oref: rec("z")})
+    assert oref in server.invalid_sets.get("c1")
+    assert not server.invalid_sets.get("c2")
+
+
+def test_page_discard_stops_invalidations():
+    server = loaded_server()
+    for c in ("c1", "c2"):
+        server.start_session(c)
+    server.fetch("c1", 0)
+    server.fetch("c1", 1, discarded_pages=(0,))
+    oref = make_oref(0, 0)
+    server.commit("c2", 1000, frozenset([oref]), {oref: rec("n")})
+    assert oref not in server.invalid_sets.get("c1")
+
+
+def test_mob_flush_installs_to_disk():
+    server = loaded_server(mob_bytes=100)
+    server.start_session("c1")
+    orefs = [make_oref(0, i) for i in range(8)]
+    for i, oref in enumerate(orefs):
+        server.commit("c1", 1000 + i, frozenset([oref]),
+                      {oref: rec("v%d" % i)})
+    assert server.mob.flushes > 0
+    # Every object is still current regardless of where it lives.
+    for i, oref in enumerate(orefs):
+        assert server.read_object(oref) == rec("v%d" % i)
+
+
+def test_vq_eviction_raises_threshold():
+    vq = ValidationQueue(capacity=2)
+    vq.insert(100, frozenset([1]), frozenset())
+    vq.insert(200, frozenset([2]), frozenset())
+    vq.insert(300, frozenset([3]), frozenset())  # evicts ts=100
+    assert vq.threshold == 100
+    assert not vq.validate(90, frozenset([9]), frozenset(), frozenset())
+    assert vq.validate(400, frozenset([9]), frozenset(), frozenset())
+
+
+def test_vq_lowest_free_index_allocation():
+    vq = ValidationQueue(capacity=4)
+    assert vq.insert(100, frozenset(), frozenset()) == 0
+    assert vq.insert(50, frozenset(), frozenset()) == 1  # not sorted by ts
+    assert vq.insert(200, frozenset(), frozenset()) == 2
+
+
+def test_cache_lru_with_jitter_stays_bounded():
+    cache = PageCache(capacity_pages=4, seed=3, jitter=0.5)
+    for i in range(20):
+        cache.put(Page(i))
+    assert len(cache) <= 4
+    assert cache.evictions == 16
+
+
+def test_concrete_nondeterminism_across_seeds():
+    """Two servers with different seeds, same workload: same reads, but
+    different internal (cache/MOB/disk) states."""
+    def run(seed):
+        server = loaded_server(seed=seed, cache_pages=2, mob_bytes=120)
+        server.start_session("c")
+        for i in range(10):
+            oref = make_oref(i % 4, i % 8)
+            server.commit("c", 1000 + i, frozenset([oref]),
+                          {oref: rec("w%d" % i)})
+        reads = [server.read_object(make_oref(p, o))
+                 for p in range(4) for o in range(8)]
+        return server, reads
+
+    s1, reads1 = run(1)
+    s2, reads2 = run(2)
+    assert reads1 == reads2  # observable behaviour identical
+    internal1 = (sorted(s1.mob.orefs()), s1.disk.writes)
+    internal2 = (sorted(s2.mob.orefs()), s2.disk.writes)
+    assert internal1 != internal2  # concrete states drifted
+
+
+def test_end_session_clears_client_state():
+    server = loaded_server()
+    server.start_session("c1")
+    server.fetch("c1", 0)
+    server.end_session("c1")
+    assert "c1" not in server.directory.clients_caching(0)
+    with pytest.raises(ThorError):
+        server.fetch("c1", 0)

@@ -1,0 +1,192 @@
+"""Thor conformance wrapper: abstract determinism over a nondeterministic
+server, and the four-area state conversions."""
+
+import pytest
+
+from repro.base.state import AbstractStateManager
+from repro.base.nondet import ClockValue
+from repro.encoding.canonical import canonical, decanonical
+from repro.thor.objects import ObjectRecord
+from repro.thor.orefs import make_oref
+from repro.thor.pages import Page
+from repro.thor.server import ThorServer, ThorServerConfig
+from repro.thor.wrapper import ThorConformanceWrapper
+
+NUM_PAGES = 8
+
+
+def rec(value):
+    return ObjectRecord("Item", (value,)).encode()
+
+
+def load_db(server):
+    for pagenum in range(4):
+        server.load_page(Page(pagenum, {o: rec(pagenum * 10 + o)
+                                        for o in range(4)}))
+
+
+class Harness:
+    def __init__(self, seed=0, cache_pages=2, mob_bytes=200):
+        self.clock = 0.0
+        server = ThorServer(ThorServerConfig(seed=seed,
+                                             cache_pages=cache_pages,
+                                             mob_bytes=mob_bytes))
+        load_db(server)
+        self.wrapper = ThorConformanceWrapper(
+            server, num_pages=NUM_PAGES, max_clients=4,
+            clock=lambda: self.clock)
+        self.manager = AbstractStateManager(self.wrapper, branching=8)
+
+    def op(self, *parts):
+        self.clock += 1.0
+        raw = self.wrapper.execute(canonical(parts), "ignored",
+                                   ClockValue.encode(self.clock))
+        return decanonical(raw)
+
+    def ok(self, *parts):
+        result = self.op(*parts)
+        assert result[0] == 0, result
+        return result[1:]
+
+    def state(self):
+        return [self.wrapper.get_obj(i)
+                for i in range(self.wrapper.num_objects)]
+
+
+def workload(h: Harness):
+    h.ok("start_session", "alice")
+    h.ok("start_session", "bob")
+    h.ok("fetch", "alice", 0, (), ())
+    h.ok("fetch", "bob", 0, (), ())
+    h.ok("fetch", "bob", 1, (), ())
+    oref = make_oref(0, 1)
+    committed, _ = h.ok("commit", "alice", 1_000_000 * 5 + 1,
+                        (oref,), ((oref, rec("alice-v1")),), (), ())
+    assert committed
+    oref2 = make_oref(1, 2)
+    h.ok("commit", "bob", 1_000_000 * 6 + 1, (oref2,),
+         ((oref2, rec("bob-v1")),), (), (oref,))
+
+
+def test_same_ops_different_seeds_identical_abstract_state():
+    """THE §3.2 property: identical nondeterministic implementation with
+    different internal schedules yields identical abstract states."""
+    h1 = Harness(seed=1)
+    h2 = Harness(seed=2)
+    # Different cache/MOB sizing pressure to force concrete divergence.
+    h3 = Harness(seed=3, cache_pages=1, mob_bytes=50)
+    for h in (h1, h2, h3):
+        workload(h)
+    s1, s2, s3 = h1.state(), h2.state(), h3.state()
+    assert s1 == s2 == s3
+    # Concrete states differ (different MOB/disk splits).
+    internals = {(len(h.wrapper.server.mob), h.wrapper.server.disk.writes)
+                 for h in (h1, h2, h3)}
+    assert len(internals) >= 2
+
+
+def test_abstract_page_value_includes_pending_mob():
+    h = Harness(mob_bytes=10**9)  # never flush
+    h.ok("start_session", "alice")
+    oref = make_oref(2, 0)
+    h.ok("commit", "alice", 2_000_001, (oref,),
+         ((oref, rec("pending")),), (), ())
+    page = Page.decode(2, h.wrapper.get_obj(h.wrapper.page_index(2)))
+    assert page.objects[0] == rec("pending")
+
+
+def test_vq_area_tracks_commits():
+    h = Harness()
+    workload(h)
+    slot0 = decanonical(h.wrapper.get_obj(h.wrapper.vq_index(0)))
+    assert slot0[0] == 5_000_001  # alice's timestamp, lowest free slot
+    slot1 = decanonical(h.wrapper.get_obj(h.wrapper.vq_index(1)))
+    assert slot1[0] == 6_000_001
+
+
+def test_invalid_set_area_and_directory_area():
+    h = Harness()
+    workload(h)
+    # bob cached page 0; alice's commit invalidated oref(0,1) for bob, but
+    # bob acked it on his commit.
+    bob_is = decanonical(h.wrapper.get_obj(h.wrapper.is_index(1)))
+    assert bob_is[0] == "bob"
+    assert bob_is[1] == ()
+    dir0 = decanonical(h.wrapper.get_obj(h.wrapper.dir_index(0)))
+    assert dir0[0] == (0, 1)  # both abstract clients cache page 0
+    dir1 = decanonical(h.wrapper.get_obj(h.wrapper.dir_index(1)))
+    assert dir1[0] == (1,)
+
+
+def test_commit_timestamp_outside_slack_rejected():
+    h = Harness()
+    h.ok("start_session", "alice")
+    oref = make_oref(0, 0)
+    committed, _ = h.ok("commit", "alice", 10**12, (oref,),
+                        ((oref, rec("x")),), (), ())
+    assert not committed
+
+
+def test_put_objs_roundtrip_to_fresh_server():
+    src = Harness(seed=5)
+    workload(src)
+    state = src.state()
+
+    dst = Harness(seed=9)
+    dst.wrapper.put_objs({i: blob for i, blob in enumerate(state)})
+    assert dst.state() == state
+    # The fresh server now behaves identically: bob can keep committing.
+    oref = make_oref(0, 2)
+    committed, _ = dst.ok("commit", "bob", 7_000_001, (oref,),
+                          ((oref, rec("post-transfer")),), (), ())
+    assert committed
+
+
+def test_put_objs_partial_pages_only():
+    a, b = Harness(seed=1), Harness(seed=2)
+    workload(a)
+    workload(b)
+    before = b.state()
+    oref = make_oref(3, 3)
+    a.ok("commit", "alice", 8_000_001, (oref,),
+         ((oref, rec("only-on-a")),), (), ())
+    after = a.state()
+    changed = {i: blob for i, blob in enumerate(after)
+               if blob != before[i]}
+    assert changed
+    b.wrapper.put_objs(changed)
+    assert b.state() == after
+
+
+def test_restart_loses_volatile_state_then_state_repair():
+    """Server restart drops cache, MOB, VQ, ISs, directory; put_objs from
+    a healthy twin restores everything."""
+    h = Harness(seed=4, mob_bytes=10**9)
+    twin = Harness(seed=6, mob_bytes=10**9)
+    for x in (h, twin):
+        workload(x)
+    want = twin.state()
+    h.wrapper.shutdown()
+    h.wrapper.restart()
+    # MOB was volatile: the abstract page lost alice's pending write.
+    broken = h.state()
+    assert broken != want
+    changed = {i: blob for i, blob in enumerate(want)
+               if blob != broken[i]}
+    h.wrapper.put_objs(changed)
+    assert h.state() == want
+
+
+def test_abstract_state_hides_flush_timing():
+    """Force a flush on one server only: abstract pages stay equal."""
+    never = Harness(seed=1, mob_bytes=10**9)
+    eager = Harness(seed=1, mob_bytes=1)  # flush after every commit
+    for h in (never, eager):
+        h.ok("start_session", "alice")
+        for i in range(5):
+            oref = make_oref(0, i % 4)
+            h.ok("commit", "alice", (i + 2) * 1_000_000 + 1, (oref,),
+                 ((oref, rec("w%d" % i)),), (), ())
+    assert never.state() == eager.state()
+    assert len(never.wrapper.server.mob) > 0
+    assert len(eager.wrapper.server.mob) == 0
