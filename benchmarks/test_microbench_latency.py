@@ -15,7 +15,7 @@ from repro.bft.config import BftConfig
 from repro.bft.statemachine import InMemoryStateManager
 from repro.harness import costs as C
 from repro.harness.cluster import build_cluster
-from repro.harness.report import format_table
+from repro.harness.report import format_table, phase_breakdown_table
 from repro.workloads.microbench import sequential_ops
 
 
@@ -37,10 +37,11 @@ def measure(payload: bytes, read_only: bool, preload: bytes = b""):
           else InMemoryStateManager.op_put(0, payload))
     # Warm, then measure 30 back-to-back ops.
     client.call(op, read_only=read_only)
+    cluster.metrics.clear()  # per-phase stats cover only the measured ops
     start = cluster.scheduler.now
     for _ in range(30):
         client.call(op, read_only=read_only)
-    return (cluster.scheduler.now - start) / 30
+    return (cluster.scheduler.now - start) / 30, cluster
 
 
 def test_microbench_latency_table(benchmark):
@@ -53,13 +54,27 @@ def test_microbench_latency_table(benchmark):
             ("0/4K", "read-write gets 4K reply"): measure(
                 b"", False, preload=b"r" * 4096),
         }
-    lat = benchmark.pedantic(run, rounds=1, iterations=1)
+    runs = benchmark.pedantic(run, rounds=1, iterations=1)
+    lat = {k: v[0] for k, v in runs.items()}
 
     rows = [(k[0], k[1], f"{v * 1e6:.0f}") for k, v in lat.items()]
     print()
     print(format_table(
         "Micro-benchmark: operation latency (microseconds, simulated)",
         ["arg/result", "mode", "latency (us)"], rows))
+
+    # Where the time goes for the null read-write op, from the
+    # observability layer's per-phase histograms.
+    rw_metrics = runs[("0/0", "read-write")][1].metrics
+    print()
+    print(phase_breakdown_table(
+        rw_metrics, title="0/0 read-write: per-phase latency "
+                          "(microseconds, simulated)"))
+    e2e = rw_metrics.histogram("phase.request_to_reply")
+    assert e2e.count == 30
+    ordering = rw_metrics.histogram("phase.pre_prepare_to_prepared")
+    assert ordering.count >= 30  # every replica orders every op
+    assert ordering.mean < e2e.mean  # one phase cannot exceed end-to-end
 
     # Read-only is the cheap path.
     assert lat[("0/0", "read-only")] < lat[("0/0", "read-write")]

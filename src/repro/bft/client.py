@@ -37,6 +37,7 @@ class _PendingCall:
     tentative_votes: Dict[bytes, Set[str]] = field(default_factory=dict)
     retries: int = 0
     nudged: bool = False  # fast retransmit for a missing full result
+    started_at: float = 0.0  # invoke time, for phase.request_to_reply
 
 
 class BftClient(Node):
@@ -79,8 +80,10 @@ class BftClient(Node):
         request = Request(self.node_id, self._next_request_id, op,
                           read_only=read_only and
                           self.config.read_only_optimization)
-        self._pending = _PendingCall(request, callback, request.read_only)
+        self._pending = _PendingCall(request, callback, request.read_only,
+                                     started_at=self.now)
         self.requests_sent += 1
+        self.tracer.metrics.inc("client.requests")
         self._transmit(first=True)
         self._retry_timer.restart(self.config.client_retry_timeout)
         return self._next_request_id
@@ -103,6 +106,7 @@ class BftClient(Node):
             return
         call.retries += 1
         self.retransmissions += 1
+        self.tracer.metrics.inc("client.retransmissions")
         if call.read_only and call.retries >= 2:
             # Fall back to the ordered path: reissue as a normal request
             # under the same request id.
@@ -167,6 +171,8 @@ class BftClient(Node):
         self._retry_timer.stop()
         self.tracer.emit(self.now, self.node_id, "result_accepted",
                          request_id=call.request.request_id)
+        self.tracer.observe_phase("request_to_reply",
+                                  self.now - call.started_at)
         call.callback(result)
 
 

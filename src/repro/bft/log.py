@@ -15,7 +15,8 @@ class SeqSlot:
     """
 
     __slots__ = ("seq", "pre_prepare", "prepares", "commits",
-                 "prepared", "committed", "executed", "prepared_cert")
+                 "prepared", "committed", "executed", "prepared_cert",
+                 "phase_marks")
 
     def __init__(self, seq: int):
         self.seq = seq
@@ -25,6 +26,11 @@ class SeqSlot:
         self.prepared = False
         self.committed = False
         self.executed = False
+        # Observability: simulated timestamps of this slot's phase
+        # transitions ("pre_prepare", "prepared", "committed"), feeding
+        # the per-phase latency histograms.  Reset whenever the slot's
+        # certificates are reset (view change, stale-view replacement).
+        self.phase_marks: Dict[str, float] = {}
         # The highest-view prepared certificate ever assembled for this
         # sequence number: (view, pre_prepare).  Unlike the working flags
         # above, this survives view changes — PBFT's P-set is built from

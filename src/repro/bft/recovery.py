@@ -169,6 +169,14 @@ class RecoveryManager:
         self.recovering = False
         r.trace("recovery_complete", epoch=self.epoch,
                 total=rec.total)
+        # Table-IV breakdown, one observation per phase per recovery.
+        metrics = r.tracer.metrics
+        metrics.observe("recovery.shutdown", rec.shutdown)
+        metrics.observe("recovery.reboot", rec.reboot)
+        metrics.observe("recovery.restart", rec.restart)
+        metrics.observe("recovery.fetch_and_check", rec.fetch_and_check)
+        metrics.observe("recovery.total", rec.total)
+        metrics.inc("recovery.completed")
         self._rearm()
         r.try_execute()
 

@@ -81,6 +81,9 @@ class Replica(Node):
         # primary's queue of requests awaiting a pre-prepare
         self.pending: "OrderedDict[Tuple[str, int], Request]" = OrderedDict()
         self.in_flight: Dict[Tuple[str, int], int] = {}  # -> seq
+        # Observability: when each pending request reached this primary,
+        # feeding the phase.request_to_pre_prepare histogram.
+        self._request_arrival: Dict[Tuple[str, int], float] = {}
         # seq -> replica -> CheckpointMsg
         self.checkpoint_msgs: Dict[int, Dict[str, CheckpointMsg]] = {}
         self.stable_cert: Tuple[CheckpointMsg, ...] = ()
@@ -238,6 +241,7 @@ class Replica(Node):
                     self.multicast(self.other_replicas, slot.pre_prepare)
             elif key not in self.pending:
                 self.pending[key] = req
+                self._request_arrival.setdefault(key, self.now)
                 self.try_send_pre_prepare()
         else:
             # Relay to the primary (forwarding the client's authenticator)
@@ -286,7 +290,12 @@ class Replica(Node):
             seq = self.seq_assigned + 1
             self.seq_assigned = seq
             for req in batch:
-                self.in_flight[(req.client_id, req.request_id)] = seq
+                key = (req.client_id, req.request_id)
+                self.in_flight[key] = seq
+                arrived = self._request_arrival.pop(key, None)
+                if arrived is not None:
+                    self.tracer.observe_phase("request_to_pre_prepare",
+                                              self.now - arrived)
             nondet = self.state.propose_nondet(batch, seq)
             nondet = self.behavior.bad_nondet(nondet)
             pp = PrePrepare(self.view, seq, tuple(batch), nondet)
@@ -300,6 +309,7 @@ class Replica(Node):
             # its prepare, so no separate prepare is recorded or sent.
             slot = self.log.slot(seq)
             slot.pre_prepare = pp
+            slot.phase_marks["pre_prepare"] = self.now
             self._check_prepared(slot)
 
     def _send_equivocating(self, pp: PrePrepare, req: Request) -> None:
@@ -356,6 +366,7 @@ class Replica(Node):
             self.vc_timer.start()
             return
         slot.pre_prepare = pp
+        slot.phase_marks = {"pre_prepare": self.now}
         for req in pp.requests:
             if not req.is_null:
                 self.waiting[(req.client_id, req.request_id)] = req
@@ -392,6 +403,11 @@ class Replica(Node):
                     or slot.prepared_cert[0] < self.view):
                 slot.prepared_cert = (self.view, slot.pre_prepare)
             self.trace("prepared", seq=slot.seq)
+            mark = slot.phase_marks.get("pre_prepare")
+            if mark is not None:
+                self.tracer.observe_phase("pre_prepare_to_prepared",
+                                          self.now - mark)
+            slot.phase_marks["prepared"] = self.now
             com = Commit(self.view, slot.seq,
                          slot.pre_prepare.batch_digest(), self.node_id)
             self.authenticate(com)
@@ -418,6 +434,11 @@ class Replica(Node):
         if slot.matching_commits() >= self.config.quorum:
             slot.committed = True
             self.trace("committed", seq=slot.seq)
+            mark = slot.phase_marks.get("prepared")
+            if mark is not None:
+                self.tracer.observe_phase("prepared_to_committed",
+                                          self.now - mark)
+            slot.phase_marks["committed"] = self.now
             self.try_execute()
 
     # -- execution ------------------------------------------------------------------
@@ -432,6 +453,10 @@ class Replica(Node):
             pp = slot.pre_prepare
             self.last_executed = slot.seq
             slot.executed = True
+            mark = slot.phase_marks.get("committed")
+            if mark is not None:
+                self.tracer.observe_phase("committed_to_executed",
+                                          self.now - mark)
             for req in pp.requests:
                 self._execute_request(req, slot.seq, pp.nondet)
             if slot.seq % self.config.checkpoint_interval == 0:
@@ -446,6 +471,7 @@ class Replica(Node):
     def _execute_request(self, req: Request, seq: int, nondet: bytes) -> None:
         self.waiting.pop((req.client_id, req.request_id), None)
         self.in_flight.pop((req.client_id, req.request_id), None)
+        self._request_arrival.pop((req.client_id, req.request_id), None)
         if req.is_null:
             return
         last = self.client_table.get(req.client_id)

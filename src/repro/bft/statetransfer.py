@@ -58,6 +58,9 @@ class StateTransferManager:
         self.objects_fetched_total = 0
         self.bytes_fetched_total = 0
         self._cert_nonce = 0
+        # When the current transfer began, for phase.state_transfer
+        # (kept across re-targets to a newer checkpoint mid-transfer).
+        self._started_at = 0.0
 
     # -- initiating a transfer ---------------------------------------------------
 
@@ -78,6 +81,8 @@ class StateTransferManager:
             r.trace("transfer_bad_cert", seq=seq)
             return
         r.trace("transfer_started", seq=seq)
+        if not self.active:
+            self._started_at = r.now
         self.active = True
         self.target_seq = seq
         self.target_root = root
@@ -336,6 +341,8 @@ class StateTransferManager:
         r.vc_timer.stop()
         r.trace("transfer_complete", seq=self.target_seq,
                 objects=len(objects))
+        r.tracer.observe_phase("state_transfer", r.now - self._started_at)
+        r.tracer.metrics.inc("transfer.objects_fetched", len(objects))
         callbacks, self.completion_callbacks = self.completion_callbacks, []
         for cb in callbacks:
             cb(self.target_seq)

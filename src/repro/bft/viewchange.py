@@ -39,6 +39,9 @@ class ViewChangeManager:
         self.last_new_view: Optional[NewView] = None
         self._nv_timer = replica.make_timer(
             replica.config.view_change_timeout, self._on_new_view_timeout)
+        # When this replica left normal operation (first VIEW-CHANGE sent
+        # for the current outage), for the phase.view_change histogram.
+        self._started_at = 0.0
 
     # -- initiating ----------------------------------------------------------
 
@@ -49,6 +52,8 @@ class ViewChangeManager:
             return
         if self.active and new_view <= self.target_view:
             return
+        if not self.active:
+            self._started_at = r.now
         self.active = True
         self.target_view = new_view
         r.vc_timer.stop()
@@ -221,6 +226,8 @@ class ViewChangeManager:
     def _enter_view(self, view: int, vcs, pre_prepares: List[PrePrepare]) -> None:
         r = self.replica
         r.view = view
+        if self.active:
+            r.tracer.observe_phase("view_change", r.now - self._started_at)
         self.active = False
         self._nv_timer.stop()
         for v in [v for v in self.received if v <= view]:
@@ -248,6 +255,7 @@ class ViewChangeManager:
                 slot.commits = {}
                 slot.prepared = False
                 slot.committed = False
+                slot.phase_marks = {}
 
         max_seq = min_s
         for pp in pre_prepares:
@@ -258,6 +266,7 @@ class ViewChangeManager:
             slot.commits = {}
             slot.prepared = False
             slot.committed = False
+            slot.phase_marks = {"pre_prepare": r.now}
             slot.executed = slot.executed and pp.seq <= r.last_executed
             if not r.is_primary:
                 prep = Prepare(view, pp.seq, pp.batch_digest(), r.node_id)

@@ -32,6 +32,20 @@ class Cluster:
         return self.replicas[index]
 
     @property
+    def metrics(self):
+        """The shared metrics registry (counters/gauges/histograms)."""
+        return self.tracer.metrics
+
+    def phase_report(self, title: str = "Per-phase latency breakdown "
+                                        "(microseconds, simulated)") -> str:
+        """Render the per-phase latency histograms as a table."""
+        from repro.harness.report import phase_breakdown_table
+        return phase_breakdown_table(self.tracer.metrics, title=title)
+
+    def metrics_json(self, indent: int = 2) -> str:
+        return self.tracer.metrics.to_json(indent=indent)
+
+    @property
     def primary(self) -> Replica:
         view = max(r.view for r in self.replicas)
         primary_id = self.config.primary_of(view)
@@ -75,6 +89,8 @@ def build_cluster(make_state: Callable[[int], StateManager],
     network = Network(scheduler, network_config or NetworkConfig(seed=seed))
     registry = KeyRegistry()
     tracer = tracer or Tracer()
+    # Spans and phase observations measure *simulated* time.
+    tracer.bind_clock(lambda: scheduler.now)
     replicas = []
     for i, replica_id in enumerate(config.replica_ids):
         cost_model = replica_costs[i] if replica_costs else costs

@@ -14,22 +14,29 @@ The kernel is deliberately small:
   point-to-point and multicast message delivery between registered nodes.
 - :class:`~repro.sim.node.Node` — base class for protocol participants
   with timer helpers.
-- :class:`~repro.sim.tracing.Tracer` — structured event trace with
+- :class:`~repro.sim.tracing.Tracer` — structured event ring with
   counters, used by the benchmark harness.
+- :class:`~repro.sim.metrics.Metrics` — counters/gauges/histograms with
+  percentile summaries, exportable as JSON or harness tables.
 """
 
 from repro.sim.scheduler import Event, Scheduler
+from repro.sim.metrics import Histogram, Metrics, Span
 from repro.sim.network import LinkConfig, Network, NetworkConfig
 from repro.sim.node import Node, Timer
-from repro.sim.tracing import Tracer
+from repro.sim.tracing import PHASES, Tracer
 
 __all__ = [
     "Event",
     "Scheduler",
+    "Histogram",
     "LinkConfig",
+    "Metrics",
     "Network",
     "NetworkConfig",
     "Node",
+    "PHASES",
+    "Span",
     "Timer",
     "Tracer",
 ]

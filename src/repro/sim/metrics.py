@@ -1,0 +1,204 @@
+"""Metrics registry: counters, gauges, and histograms with percentiles.
+
+The observability substrate for the benchmark harness: protocol code
+records per-phase latencies and operation counters here (via the
+:class:`~repro.sim.tracing.Tracer`), and benchmarks export the registry
+as JSON or render it as plain-text tables next to the paper's figures.
+
+Everything is plain Python with deterministic behaviour: histograms keep
+exact count/sum/min/max and a bounded sample buffer for percentile
+estimates, overwriting deterministically once full (no RNG, so two runs
+of the same seeded simulation produce identical summaries).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+
+class Histogram:
+    """Latency/size distribution with exact aggregates and percentiles.
+
+    ``count``/``sum``/``min``/``max`` are exact for every observation.
+    Percentiles come from a bounded sample buffer (``max_samples``);
+    once full, new observations overwrite slots round-robin, which keeps
+    memory bounded on long runs while remaining deterministic.
+    """
+
+    __slots__ = ("name", "count", "sum", "min", "max",
+                 "_samples", "_max_samples")
+
+    def __init__(self, name: str = "", max_samples: int = 65_536):
+        if max_samples <= 0:
+            raise ValueError("max_samples must be positive")
+        self.name = name
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._samples: List[float] = []
+        self._max_samples = max_samples
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if len(self._samples) < self._max_samples:
+            self._samples.append(value)
+        else:
+            self._samples[self.count % self._max_samples] = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else float("nan")
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile over the retained sample (p in [0, 100])."""
+        if not self._samples:
+            return float("nan")
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile {p!r} outside [0, 100]")
+        ordered = sorted(self._samples)
+        rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+        return ordered[rank - 1]
+
+    def summary(self, percentiles: Iterable[float] = (50, 90, 99)) -> Dict[str, float]:
+        out: Dict[str, float] = {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min if self.count else float("nan"),
+            "max": self.max if self.count else float("nan"),
+        }
+        for p in percentiles:
+            key = f"p{p:g}".replace(".", "_")
+            out[key] = self.percentile(p)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Histogram({self.name!r}, count={self.count}, "
+                f"mean={self.mean:.6g})")
+
+
+class Span:
+    """Context manager timing one region into a histogram.
+
+    ``clock`` is any zero-argument callable returning seconds — the
+    simulation passes ``scheduler.now`` so spans measure *simulated*
+    time; outside a simulation it defaults to wall-clock time.
+    """
+
+    __slots__ = ("_hist", "_clock", "_start", "elapsed")
+
+    def __init__(self, hist: Histogram, clock: Callable[[], float]):
+        self._hist = hist
+        self._clock = clock
+        self._start = 0.0
+        self.elapsed: Optional[float] = None
+
+    def __enter__(self) -> "Span":
+        self._start = self._clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.elapsed = self._clock() - self._start
+        self._hist.observe(self.elapsed)
+
+
+class Metrics:
+    """Registry of named counters, gauges, and histograms.
+
+    Names are free-form dotted strings; the harness conventions are
+    ``phase.<name>`` for protocol phase latencies, ``recovery.<name>``
+    for Table-IV recovery breakdowns, and bare names for counters.
+    """
+
+    def __init__(self, max_samples_per_histogram: int = 65_536):
+        self.counters: Dict[str, int] = {}
+        self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, Histogram] = {}
+        self._max_samples = max_samples_per_histogram
+
+    # -- recording ---------------------------------------------------------
+
+    def inc(self, name: str, n: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = value
+
+    def histogram(self, name: str) -> Histogram:
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram(
+                name, max_samples=self._max_samples)
+        return hist
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    def span(self, name: str,
+             clock: Optional[Callable[[], float]] = None) -> Span:
+        return Span(self.histogram(name), clock or time.perf_counter)
+
+    # -- reading -----------------------------------------------------------
+
+    def counter_value(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    def gauge_value(self, name: str, default: float = 0.0) -> float:
+        return self.gauges.get(name, default)
+
+    def histograms_with_prefix(self, prefix: str) -> List[Tuple[str, Histogram]]:
+        return sorted((name, h) for name, h in self.histograms.items()
+                      if name.startswith(prefix))
+
+    # -- export ------------------------------------------------------------
+
+    def as_dict(self, percentiles: Iterable[float] = (50, 90, 99)) -> Dict[str, Any]:
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "histograms": {
+                name: hist.summary(percentiles)
+                for name, hist in sorted(self.histograms.items())},
+        }
+
+    def to_json(self, indent: Optional[int] = 2,
+                percentiles: Iterable[float] = (50, 90, 99)) -> str:
+        def _clean(obj):
+            # JSON has no NaN/inf; export them as null.
+            if isinstance(obj, float) and not math.isfinite(obj):
+                return None
+            if isinstance(obj, dict):
+                return {k: _clean(v) for k, v in obj.items()}
+            return obj
+        return json.dumps(_clean(self.as_dict(percentiles)), indent=indent)
+
+    def merge(self, other: "Metrics") -> None:
+        """Fold another registry into this one (counters add, gauges take
+        the other's value, histogram aggregates and samples combine)."""
+        for name, n in other.counters.items():
+            self.inc(name, n)
+        self.gauges.update(other.gauges)
+        for name, hist in other.histograms.items():
+            mine = self.histogram(name)
+            mine.count += hist.count
+            mine.sum += hist.sum
+            mine.min = min(mine.min, hist.min)
+            mine.max = max(mine.max, hist.max)
+            for v in hist._samples:
+                if len(mine._samples) < mine._max_samples:
+                    mine._samples.append(v)
+
+    def clear(self) -> None:
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()

@@ -54,6 +54,7 @@ class Network:
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
+        self.messages_duplicated = 0
         self.bytes_sent = 0
 
     # -- topology ----------------------------------------------------------
@@ -124,23 +125,28 @@ class Network:
         if link.drop_rate and self.rng.random() < link.drop_rate:
             self.messages_dropped += 1
             return
-        delay = (link.latency
-                 + (self.rng.random() * link.jitter if link.jitter else 0.0)
-                 + nbytes / link.bandwidth)
+        delay = self._sample_delay(link, nbytes)
         self.scheduler.schedule(delay, self._deliver, src, dst, msg)
         if link.duplicate_rate and self.rng.random() < link.duplicate_rate:
-            self.scheduler.schedule(delay * 2, self._deliver, src, dst, msg)
+            # The duplicate takes its own trip through the network: an
+            # independently sampled delay, not a deterministic doubling
+            # (it may even arrive before the original).
+            self.messages_duplicated += 1
+            self.scheduler.schedule(self._sample_delay(link, nbytes),
+                                    self._deliver, src, dst, msg)
 
     def multicast(self, src: Any, dsts: Iterable[Any], msg: Any,
                   size: Optional[int] = None) -> None:
-        """True IP multicast: the sender serializes the message *once*;
-        every destination receives that same transmission (individual
-        propagation jitter, drops, and partitions still apply)."""
+        """True IP multicast: the sender serializes the message *once*
+        (it counts once against ``bytes_sent``), but each destination is
+        charged the serialization delay of *its own* link — a slow edge
+        must not speed up, nor a fast edge slow down, the others.
+        Per-destination propagation jitter, drops, and partitions apply
+        as usual."""
         dsts = list(dsts)
         if not dsts:
             return
         nbytes = self._size_of(msg, size)
-        serialization = nbytes / self.link(src, dsts[0]).bandwidth
         for dst in dsts:
             self.messages_sent += 1
             if self.is_partitioned(src, dst):
@@ -153,10 +159,7 @@ class Network:
             if link.drop_rate and self.rng.random() < link.drop_rate:
                 self.messages_dropped += 1
                 continue
-            delay = (link.latency
-                     + (self.rng.random() * link.jitter if link.jitter
-                        else 0.0)
-                     + serialization)
+            delay = self._sample_delay(link, nbytes)
             self.scheduler.schedule(delay, self._deliver, src, dst, msg)
         self.bytes_sent += nbytes
 
@@ -165,6 +168,12 @@ class Network:
         self.multicast(src, [d for d in self._nodes if d != src], msg, size=size)
 
     # -- internals -----------------------------------------------------------
+
+    def _sample_delay(self, link: LinkConfig, nbytes: int) -> float:
+        """One trip's delay on ``link``: latency + jitter + serialization."""
+        return (link.latency
+                + (self.rng.random() * link.jitter if link.jitter else 0.0)
+                + nbytes / link.bandwidth)
 
     @staticmethod
     def _size_of(msg: Any, size: Optional[int]) -> int:

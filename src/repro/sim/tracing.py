@@ -1,10 +1,32 @@
-"""Structured event tracing and counters for experiments."""
+"""Structured event tracing, counters, and the metrics registry.
+
+The :class:`Tracer` is the single observability object shared by a
+simulated cluster: protocol code emits events and per-phase latency
+observations into it, and the benchmark harness reads counters (MAC ops,
+digests, messages), the bounded event ring, and the
+:class:`~repro.sim.metrics.Metrics` registry out of it.
+"""
 
 from __future__ import annotations
 
-from collections import Counter, defaultdict
+from collections import Counter, defaultdict, deque
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.sim.metrics import Histogram, Metrics, Span
+
+#: The normal-case phase taxonomy, in protocol order.  Each entry is a
+#: histogram named ``phase.<name>`` in the tracer's metrics registry;
+#: view changes, state transfer, and recovery add their own entries.
+PHASES = (
+    "request_to_pre_prepare",   # primary: request arrival -> pre-prepare sent
+    "pre_prepare_to_prepared",  # pre-prepare accepted -> prepared certificate
+    "prepared_to_committed",    # prepared -> committed-local
+    "committed_to_executed",    # committed -> executed (in-order)
+    "request_to_reply",         # client: invoke -> result accepted
+    "view_change",              # VIEW-CHANGE sent -> new view entered
+    "state_transfer",           # transfer initiated -> checkpoint installed
+)
 
 
 @dataclass
@@ -16,31 +38,58 @@ class TraceEvent:
 
 
 class Tracer:
-    """Collects protocol events and counters.
+    """Collects protocol events, counters, and phase metrics.
 
     The benchmark harness uses counters (MAC ops, digests, disk reads,
     messages) to attribute simulated time via the cost model; tests use
     the event list to assert protocol behaviour (e.g. "a view change
-    happened", "replica 3 fetched 12 objects").
+    happened", "replica 3 fetched 12 objects"); benchmarks read the
+    ``metrics`` registry for per-phase latency breakdowns.
+
+    Events live in a bounded ring: once ``max_events`` are retained the
+    oldest is evicted and ``dropped_events`` increments, so a long run
+    can never silently truncate the trace — ``find``/``first`` see the
+    most recent window and the drop count says how much history is gone.
     """
 
-    def __init__(self, keep_events: bool = True, max_events: int = 200_000):
+    def __init__(self, keep_events: bool = True, max_events: int = 200_000,
+                 clock: Optional[Callable[[], float]] = None):
         self.keep_events = keep_events
         self.max_events = max_events
-        self.events: List[TraceEvent] = []
+        self.events: Deque[TraceEvent] = deque(maxlen=max_events)
         self.counters: Counter = Counter()
+        self.dropped_events = 0
+        self.metrics = Metrics()
         self._timings: Dict[str, List[float]] = defaultdict(list)
+        self._clock = clock
+
+    # -- clock ----------------------------------------------------------------
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """Attach the simulation clock so spans measure simulated time."""
+        self._clock = clock
+
+    @property
+    def now(self) -> float:
+        return self._clock() if self._clock is not None else 0.0
+
+    # -- events and counters --------------------------------------------------
 
     def emit(self, time: float, source: Any, kind: str, **detail: Any) -> None:
         self.counters[kind] += 1
-        if self.keep_events and len(self.events) < self.max_events:
-            self.events.append(TraceEvent(time, source, kind, detail))
+        if not self.keep_events:
+            self.dropped_events += 1
+            return
+        if len(self.events) == self.max_events:
+            self.dropped_events += 1
+        self.events.append(TraceEvent(time, source, kind, detail))
 
     def count(self, kind: str, n: int = 1) -> None:
         self.counters[kind] += n
 
     def record_timing(self, label: str, seconds: float) -> None:
         self._timings[label].append(seconds)
+        self.metrics.observe(label, seconds)
 
     def timings(self, label: str) -> List[float]:
         return self._timings.get(label, [])
@@ -59,6 +108,35 @@ class Tracer:
         self.events.clear()
         self.counters.clear()
         self._timings.clear()
+        self.metrics.clear()
+        self.dropped_events = 0
 
     def summary(self) -> List[Tuple[str, int]]:
         return sorted(self.counters.items())
+
+    # -- metrics convenience --------------------------------------------------
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation into the named histogram."""
+        self.metrics.observe(name, value)
+
+    def observe_phase(self, phase: str, seconds: float) -> None:
+        """Record one protocol-phase latency (histogram ``phase.<name>``)."""
+        self.metrics.observe(f"phase.{phase}", seconds)
+
+    def span(self, name: str) -> Span:
+        """Span-style timing context over the bound (simulated) clock.
+
+        Falls back to wall-clock time when no clock is bound, so the
+        same code paths work outside a simulation.
+        """
+        clock = self._clock
+        return self.metrics.span(name, clock) if clock is not None \
+            else self.metrics.span(name)
+
+    def phase_histograms(self) -> List[Tuple[str, Histogram]]:
+        """All ``phase.*`` histograms, in protocol order then by name."""
+        known = {f"phase.{p}": i for i, p in enumerate(PHASES)}
+        items = self.metrics.histograms_with_prefix("phase.")
+        return sorted(items, key=lambda kv: (known.get(kv[0], len(known)),
+                                             kv[0]))

@@ -1,5 +1,7 @@
 """Harness utilities: report rendering, complexity counting, micro-benches."""
 
+import math
+
 import pytest
 
 from repro.harness.complexity import (
@@ -21,7 +23,12 @@ from repro.workloads.microbench import (
 def test_overhead_pct():
     assert overhead_pct(130, 100) == pytest.approx(30.0)
     assert overhead_pct(100, 100) == 0.0
-    assert overhead_pct(5, 0) == 0.0
+
+
+def test_overhead_pct_broken_baseline_is_nan():
+    # A zero/negative baseline is a broken benchmark, not 0% overhead.
+    assert math.isnan(overhead_pct(5, 0))
+    assert math.isnan(overhead_pct(5, -1))
 
 
 def test_assert_shape_bands():
@@ -32,11 +39,23 @@ def test_assert_shape_bands():
         assert_shape("too high", 40, 20, 30)
 
 
+def test_assert_shape_rejects_nan():
+    with pytest.raises(AssertionError, match="NaN"):
+        assert_shape("broken baseline", overhead_pct(5, 0), 0, 100)
+
+
 def test_format_table_alignment():
     table = format_table("Title", ["a", "bb"], [(1, 2.5), ("x", 100.0)])
     lines = table.splitlines()
     assert lines[0] == "Title"
     assert len({len(line) for line in lines[2:4]}) == 1  # header == rule
+
+
+def test_format_table_empty_rows():
+    table = format_table("t", ["a", "b"], [])
+    assert isinstance(table, str)
+    assert "(no rows)" in table
+    assert table.splitlines()[2].startswith("a")
 
 
 def test_count_statements_ignores_comments_and_blanks():

@@ -1,0 +1,264 @@
+"""The observability layer: ring-buffer tracing, histograms, metrics,
+spans, and the per-phase latency instrumentation in the BFT stack."""
+
+import json
+import math
+
+import pytest
+
+from repro.bft.statemachine import InMemoryStateManager
+from repro.harness.report import (
+    counters_table,
+    histogram_table,
+    phase_breakdown_table,
+    run_selftest,
+)
+from repro.sim import Histogram, Metrics, Tracer
+from tests.conftest import make_kv_cluster
+
+put = InMemoryStateManager.op_put
+get = InMemoryStateManager.op_get
+
+
+# -- Tracer ring buffer -------------------------------------------------------
+
+def test_ring_buffer_keeps_most_recent_events():
+    tracer = Tracer(max_events=3)
+    for i in range(10):
+        tracer.emit(float(i), "n", "e", i=i)
+    assert len(tracer.events) == 3
+    assert [e.detail["i"] for e in tracer.events] == [7, 8, 9]
+    assert tracer.dropped_events == 7
+    assert tracer.counters["e"] == 10  # counters keep counting
+
+
+def test_ring_buffer_find_and_first_see_recent_window():
+    tracer = Tracer(max_events=2)
+    tracer.emit(1.0, "n", "old")
+    tracer.emit(2.0, "n", "mid")
+    tracer.emit(3.0, "n", "new")
+    assert tracer.find("old") == []
+    assert tracer.first("mid").time == 2.0
+    assert [e.kind for e in tracer.events] == ["mid", "new"]
+
+
+def test_no_silent_drops_when_events_disabled():
+    tracer = Tracer(keep_events=False)
+    for i in range(5):
+        tracer.emit(float(i), "n", "e")
+    assert len(tracer.events) == 0
+    assert tracer.dropped_events == 5
+
+
+def test_clear_resets_drops_and_metrics():
+    tracer = Tracer(max_events=1)
+    tracer.emit(1.0, "n", "a")
+    tracer.emit(2.0, "n", "b")
+    tracer.observe("x", 1.0)
+    assert tracer.dropped_events == 1
+    tracer.clear()
+    assert tracer.dropped_events == 0
+    assert not tracer.events
+    assert not tracer.metrics.histograms
+
+
+def test_record_timing_feeds_metrics_histogram():
+    tracer = Tracer()
+    tracer.record_timing("lap", 0.5)
+    tracer.record_timing("lap", 1.5)
+    assert tracer.timings("lap") == [0.5, 1.5]
+    assert tracer.metrics.histogram("lap").count == 2
+    assert tracer.metrics.histogram("lap").mean == pytest.approx(1.0)
+
+
+# -- Histogram ----------------------------------------------------------------
+
+def test_histogram_aggregates_and_percentiles():
+    hist = Histogram("h")
+    for v in range(1, 101):
+        hist.observe(float(v))
+    assert hist.count == 100
+    assert hist.sum == pytest.approx(5050.0)
+    assert hist.mean == pytest.approx(50.5)
+    assert hist.min == 1.0 and hist.max == 100.0
+    assert hist.percentile(50) == 50.0
+    assert hist.percentile(99) == 99.0
+    assert hist.percentile(100) == 100.0
+    assert hist.percentile(0) == 1.0
+
+
+def test_histogram_empty_is_nan_not_zero():
+    hist = Histogram("h")
+    assert math.isnan(hist.mean)
+    assert math.isnan(hist.percentile(50))
+    summary = hist.summary()
+    assert summary["count"] == 0
+    assert math.isnan(summary["mean"])
+
+
+def test_histogram_bounded_samples_exact_aggregates():
+    hist = Histogram("h", max_samples=8)
+    for v in range(1000):
+        hist.observe(float(v))
+    assert hist.count == 1000           # exact even past the sample cap
+    assert hist.max == 999.0
+    assert len(hist._samples) == 8      # memory stays bounded
+    with pytest.raises(ValueError):
+        hist.percentile(101)
+
+
+# -- Metrics registry ---------------------------------------------------------
+
+def test_metrics_counters_gauges_histograms():
+    m = Metrics()
+    m.inc("ops")
+    m.inc("ops", 4)
+    m.gauge("depth", 7.0)
+    m.observe("lat", 0.25)
+    assert m.counter_value("ops") == 5
+    assert m.counter_value("missing") == 0
+    assert m.gauge_value("depth") == 7.0
+    assert m.histogram("lat").count == 1
+
+
+def test_metrics_json_export_round_trips():
+    m = Metrics()
+    m.inc("ops", 3)
+    m.observe("lat", 0.5)
+    exported = json.loads(m.to_json())
+    assert exported["counters"]["ops"] == 3
+    assert exported["histograms"]["lat"]["count"] == 1
+    assert exported["histograms"]["lat"]["p50"] == 0.5
+    # NaN (empty histogram) must export as null, not break JSON.
+    m.histogram("empty")
+    assert json.loads(m.to_json())["histograms"]["empty"]["mean"] is None
+
+
+def test_metrics_merge():
+    a, b = Metrics(), Metrics()
+    a.inc("ops", 2)
+    b.inc("ops", 3)
+    a.observe("lat", 1.0)
+    b.observe("lat", 3.0)
+    a.merge(b)
+    assert a.counter_value("ops") == 5
+    assert a.histogram("lat").count == 2
+    assert a.histogram("lat").mean == pytest.approx(2.0)
+
+
+def test_span_measures_with_custom_clock():
+    m = Metrics()
+    fake = {"t": 10.0}
+    with m.span("region", clock=lambda: fake["t"]) as span:
+        fake["t"] = 12.5
+    assert span.elapsed == pytest.approx(2.5)
+    assert m.histogram("region").count == 1
+    assert m.histogram("region").max == pytest.approx(2.5)
+
+
+def test_tracer_span_uses_bound_simulation_clock():
+    tracer = Tracer()
+    fake = {"t": 0.0}
+    tracer.bind_clock(lambda: fake["t"])
+    with tracer.span("step"):
+        fake["t"] = 4.0
+    assert tracer.metrics.histogram("step").percentile(50) == pytest.approx(4.0)
+
+
+# -- protocol phase instrumentation -------------------------------------------
+
+def test_normal_case_populates_phase_histograms():
+    cluster = make_kv_cluster()
+    client = cluster.add_client("client0")
+    for i in range(10):
+        client.call(put(i % 8, b"v%d" % i))
+    metrics = cluster.metrics
+    for phase in ("request_to_pre_prepare", "pre_prepare_to_prepared",
+                  "prepared_to_committed", "committed_to_executed",
+                  "request_to_reply"):
+        hist = metrics.histograms.get(f"phase.{phase}")
+        assert hist is not None and hist.count > 0, phase
+    # The client saw every op end-to-end; latencies are causally ordered
+    # (a request cannot reach the client faster than it committed).
+    e2e = metrics.histogram("phase.request_to_reply")
+    assert e2e.count == 10
+    assert e2e.min > 0
+    assert cluster.metrics.counter_value("client.requests") == 10
+    assert cluster.tracer.dropped_events == 0
+
+
+def test_view_change_duration_recorded():
+    cluster = make_kv_cluster(view_change_timeout=0.5,
+                              client_retry_timeout=0.3)
+    client = cluster.add_client("client0")
+    cluster.replicas[0].crash()
+    client.call(put(0, b"survived"))
+    vc = cluster.metrics.histograms.get("phase.view_change")
+    assert vc is not None and vc.count >= 1
+    assert vc.min > 0
+
+
+def test_state_transfer_duration_recorded():
+    cluster = make_kv_cluster(checkpoint_interval=4)
+    client = cluster.add_client("client0")
+    lagger = cluster.replicas[3]
+    for other in cluster.config.replica_ids:
+        if other != lagger.node_id:
+            cluster.network.partition(lagger.node_id, other)
+    for i in range(12):
+        client.call(put(i % 16, b"w%d" % i))
+    cluster.network.heal_all()
+    for i in range(4):
+        client.call(put(i % 16, b"x%d" % i))
+    cluster.run(5.0)
+    st = cluster.metrics.histograms.get("phase.state_transfer")
+    assert st is not None and st.count >= 1
+    assert cluster.metrics.counter_value("transfer.objects_fetched") > 0
+
+
+def test_recovery_breakdown_recorded():
+    cluster = make_kv_cluster(checkpoint_interval=4, reboot_delay=1.0)
+    client = cluster.add_client("client0")
+    for i in range(8):
+        client.call(put(i % 8, b"r%d" % i))
+    cluster.run(1.0)
+    cluster.replicas[2].recovery.start_recovery()
+    cluster.run(10.0)
+    metrics = cluster.metrics
+    assert metrics.counter_value("recovery.completed") == 1
+    assert metrics.histogram("recovery.reboot").mean == pytest.approx(1.0)
+    total = metrics.histogram("recovery.total").mean
+    parts = sum(metrics.histogram(f"recovery.{p}").mean
+                for p in ("shutdown", "reboot", "restart", "fetch_and_check"))
+    assert total == pytest.approx(parts)
+
+
+# -- rendering and the smoke target -------------------------------------------
+
+def test_phase_breakdown_table_renders_in_protocol_order():
+    cluster = make_kv_cluster()
+    client = cluster.add_client("client0")
+    for i in range(5):
+        client.call(put(i, b"v"))
+    table = cluster.phase_report()
+    lines = table.splitlines()
+    order = [line.split()[0] for line in lines[3:] if line.strip()]
+    assert order.index("pre_prepare_to_prepared") \
+        < order.index("prepared_to_committed") \
+        < order.index("committed_to_executed") \
+        < order.index("request_to_reply")
+
+
+def test_histogram_and_counter_tables_render_empty_registries():
+    m = Metrics()
+    assert "(no rows)" in histogram_table(m, "empty")
+    assert "(no rows)" in counters_table(m)
+    assert "(no rows)" in phase_breakdown_table(m)
+
+
+def test_report_selftest_end_to_end(capsys):
+    metrics = run_selftest(ops=10, verbose=True)
+    out = capsys.readouterr().out
+    assert "Per-phase latency breakdown" in out
+    assert "client.requests" in out
+    assert metrics.counter_value("client.requests") == 15

@@ -2,6 +2,8 @@
 
 from dataclasses import dataclass
 
+import pytest
+
 from repro.sim import LinkConfig, Network, NetworkConfig, Node, Scheduler
 
 
@@ -147,6 +149,60 @@ def test_per_link_override():
     sched.run()
     assert b.received[0][2] < 0.01
     assert c.received[0][2] >= 1.0
+
+
+def test_multicast_charges_per_destination_bandwidth():
+    # Regression: multicast used to compute the serialization delay from
+    # the *first* destination's bandwidth and apply it to everyone.
+    sched, net = make_net(jitter=0.0, latency=0.0)
+    a = Recorder("a", net)
+    slow = Recorder("slow", net)
+    fast = Recorder("fast", net)
+    default = Recorder("default", net)
+    nbytes = 64 + 100_000
+    net.set_link("a", "slow", LinkConfig(latency=0.0, jitter=0.0,
+                                         bandwidth=1_000_000.0))
+    net.set_link("a", "fast", LinkConfig(latency=0.0, jitter=0.0,
+                                         bandwidth=100_000_000.0))
+    # "slow" is deliberately first: its bandwidth must not leak onto the
+    # other destinations' delays.
+    a.multicast(["slow", "fast", "default"], Ping(payload="y" * 100_000))
+    sched.run()
+    t_slow = slow.received[0][2]
+    t_fast = fast.received[0][2]
+    t_default = default.received[0][2]
+    assert t_slow == pytest.approx(nbytes / 1_000_000.0)
+    assert t_fast == pytest.approx(nbytes / 100_000_000.0)
+    # Unconfigured links fall back to the sender's default link config.
+    assert t_default == pytest.approx(nbytes / LinkConfig().bandwidth)
+    # The sender still serializes once: one payload against bytes_sent.
+    assert net.bytes_sent == nbytes
+
+
+def test_duplicate_gets_independent_delay():
+    # Regression: duplicates used to arrive at exactly delay * 2.
+    sched, net = make_net(seed=3, jitter=0.01, duplicate_rate=1.0)
+    a = Recorder("a", net)
+    b = Recorder("b", net)
+    a.send("b", Ping())
+    sched.run()
+    assert len(b.received) == 2
+    assert net.messages_duplicated == 1
+    t1, t2 = sorted(t for _, _, t in b.received)
+    assert t2 != pytest.approx(2 * t1)
+
+
+def test_duplicate_without_jitter_is_not_double_delay():
+    # With zero jitter both copies take the same deterministic trip —
+    # the duplicate must not be charged the path twice.
+    sched, net = make_net(jitter=0.0, duplicate_rate=1.0)
+    a = Recorder("a", net)
+    b = Recorder("b", net)
+    a.send("b", Ping())
+    sched.run()
+    assert len(b.received) == 2
+    t1, t2 = (t for _, _, t in b.received)
+    assert t1 == pytest.approx(t2)
 
 
 def test_determinism_same_seed_same_delivery_times():
