@@ -1,29 +1,48 @@
-"""Builders and client for the replicated web/DAV service."""
+"""Registration, client, and builders for the replicated web/DAV service.
+
+Declared once as a :class:`ServiceDefinition`; both deployments come
+from the shared code paths in :mod:`repro.service.deploy`.
+``build_base_http``/``build_http_std`` are kept as thin typed shims.
+"""
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence, Tuple, Type
+from typing import List, Optional, Sequence, Tuple, Type
 
-from repro.base.library import BaseServiceConfig, build_base_cluster
+from repro.base.library import BaseServiceConfig
 from repro.bft.config import BftConfig
 from repro.bft.costs import CostModel
 from repro.encoding.canonical import canonical, decanonical
 from repro.harness.cluster import Cluster
-from repro.http.engine import HttpError, HttpStatus, _BaseServer
+from repro.http.engine import HttpError, HttpStatus, NginxLikeServer, \
+    _BaseServer
 from repro.http.wrapper import HttpConformanceWrapper
-from repro.sim.network import Network, NetworkConfig
-from repro.sim.node import Node
-from repro.sim.scheduler import Scheduler
+from repro.service.deploy import (
+    Channel,
+    DirectService,
+    DirectServiceServer,
+    ServiceDefinition,
+    WrapperContext,
+    build_replicated,
+    build_unreplicated,
+)
+from repro.service.registry import register
+from repro.sim.network import NetworkConfig
+
+#: Methods eligible for BFT's read-only path, off the declarative table.
+READ_ONLY_METHODS = frozenset(
+    m.upper() for m in HttpConformanceWrapper.read_only_ops())
 
 
 class HttpClient:
     """Minimal method-per-verb client over either deployment."""
 
-    def __init__(self, call: Callable[[bytes, bool], bytes]):
-        self._call = call
+    def __init__(self, channel: Channel):
+        self._channel = channel
 
     def _issue(self, *parts, read_only=False) -> tuple:
-        return decanonical(self._call(canonical(parts), read_only))
+        return decanonical(self._channel.call(canonical(parts),
+                                              read_only=read_only))
 
     def get(self, path: str, if_none_match: str = "") -> Tuple[str, bytes]:
         result = self._issue("GET", path, if_none_match, read_only=True)
@@ -57,65 +76,69 @@ class HttpClient:
             raise HttpError(HttpStatus(result[0]))
 
 
+# -- service registration ----------------------------------------------------------
+
+
+def _make_server(server_class: type, index: int) -> _BaseServer:
+    kwargs = {"boot_salt": index + 1} \
+        if server_class.__name__ == "ApacheLikeServer" else {}
+    return server_class(**kwargs)
+
+
+def _make_wrapper(ctx: WrapperContext) -> HttpConformanceWrapper:
+    server_class = ctx.backend_class or NginxLikeServer
+    factory = None
+    if ctx.options.get("clean_recovery"):
+        factory = lambda: _make_server(server_class, ctx.index)  # noqa: E731
+    return HttpConformanceWrapper(
+        _make_server(server_class, ctx.index),
+        array_size=ctx.options.get("array_size", 256),
+        clean_recovery_factory=factory)
+
+
+def _make_direct(ctx: WrapperContext) -> DirectService:
+    server_class = ctx.backend_class or NginxLikeServer
+    server = server_class()
+    wrapper = HttpConformanceWrapper(server)
+
+    def handler(node: DirectServiceServer, src: str,
+                op: bytes) -> Tuple[bytes, int]:
+        raw = wrapper.execute(op, src, b"")
+        return raw, 64 + len(raw)
+
+    return DirectService(backend=server, handler=handler)
+
+
+HTTP_SERVICE = register(ServiceDefinition(
+    name="http",
+    make_wrapper=_make_wrapper,
+    make_client=HttpClient,
+    make_direct=_make_direct,
+    default_backends=(NginxLikeServer,) * 4,
+    branching=16,
+))
+
+
+# -- legacy builder shims ------------------------------------------------------------
+
+
 def build_base_http(server_classes: Sequence[Type[_BaseServer]],
                     array_size: int = 256,
                     config: Optional[BftConfig] = None,
                     network_config: Optional[NetworkConfig] = None,
                     replica_costs: Optional[List[CostModel]] = None,
                     branching: int = 16,
+                    clean_recovery: bool = False,
                     seed: int = 0) -> Tuple[Cluster, HttpClient]:
-    config = config or BftConfig(n=len(server_classes))
-
-    def make_factory(i: int, cls: type):
-        def factory() -> HttpConformanceWrapper:
-            kwargs = {"boot_salt": i + 1} \
-                if cls.__name__ == "ApacheLikeServer" else {}
-            return HttpConformanceWrapper(cls(**kwargs),
-                                          array_size=array_size)
-        return factory
-
-    cluster = build_base_cluster(
-        [make_factory(i, cls) for i, cls in enumerate(server_classes)],
-        config=config, base_config=BaseServiceConfig(branching=branching),
+    return build_replicated(
+        HTTP_SERVICE, list(server_classes), config=config,
+        base_config=BaseServiceConfig(branching=branching),
         network_config=network_config, replica_costs=replica_costs,
-        seed=seed)
-    sync = cluster.add_client("http-client")
-
-    def call(op: bytes, read_only: bool) -> bytes:
-        return sync.call(op, read_only=read_only)
-
-    return cluster, HttpClient(call)
+        seed=seed, array_size=array_size, clean_recovery=clean_recovery)
 
 
-class _DirectHttpServer(Node):
-    def __init__(self, node_id, network, server: _BaseServer):
-        super().__init__(node_id, network)
-        self.wrapper = HttpConformanceWrapper(server)
-
-    def on_message(self, src, msg):
-        nonce, op = msg
-        raw = self.wrapper.execute(op, src, b"")
-        self.send(src, (nonce, raw), size=64 + len(raw))
-
-
-def build_http_std(server_class: Type[_BaseServer],
+def build_http_std(server_class: Optional[Type[_BaseServer]] = None,
                    network_config: Optional[NetworkConfig] = None,
                    seed: int = 0) -> Tuple[_BaseServer, HttpClient]:
-    scheduler = Scheduler()
-    network = Network(scheduler, network_config or NetworkConfig(seed=seed))
-    server = server_class()
-    _DirectHttpServer("http-server", network, server)
-    box = {}
-    counter = {"n": 0}
-    client_node = Node("http-client-node", network)
-    client_node.on_message = lambda src, msg: box.__setitem__(msg[0], msg[1])
-
-    def call(op: bytes, read_only: bool) -> bytes:
-        counter["n"] += 1
-        nonce = counter["n"]
-        client_node.send("http-server", (nonce, op), size=64 + len(op))
-        if not scheduler.run_until_idle_or(lambda: nonce in box):
-            raise TimeoutError("http server never answered")
-        return box.pop(nonce)
-
-    return server, HttpClient(call)
+    return build_unreplicated(HTTP_SERVICE, server_class,
+                              network_config=network_config, seed=seed)

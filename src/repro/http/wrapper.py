@@ -10,33 +10,41 @@ The common abstract specification:
 - conditional PUT (If-Match) is decided against abstract ETags, so all
   replicas agree;
 - PROPFIND listings are name-sorted.
+
+Dispatch, read-only gating, error enveloping, and shutdown/restart
+persistence ride the service kernel (:mod:`repro.service.kernel`).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.base.mappings import KeyedArrayMapping
-from repro.base.upcalls import Upcalls
 from repro.encoding.canonical import canonical, decanonical
-from repro.errors import StateTransferError
 from repro.http.engine import HttpError, HttpStatus, _BaseServer
+from repro.service.kernel import AbstractService, op
 
 
-class HttpConformanceWrapper(Upcalls):
+class HttpConformanceWrapper(AbstractService):
     CATALOG_INDEX = 0
 
     def __init__(self, server: _BaseServer, array_size: int = 512,
-                 per_op_cost: float = 0.0):
+                 per_op_cost: float = 0.0,
+                 clean_recovery_factory: Optional[
+                     Callable[[], _BaseServer]] = None):
         super().__init__()
         self.server = server
         self.array_size = array_size
         self.per_op_cost = per_op_cost
+        #: When set, restart() replaces the server with a fresh one and
+        #: the lost resources are rebuilt from the abstract state fetched
+        #: during recovery (clean recovery, §3.1.4).
+        self.clean_recovery_factory = clean_recovery_factory
+        self._clean_restarted = False
         self.resources: KeyedArrayMapping = KeyedArrayMapping(array_size,
                                                               reserved=1)
         #: path -> abstract version counter (the virtualized ETag).
         self.versions: Dict[str, int] = {}
-        self._saved: Optional[bytes] = None
 
     @property
     def num_objects(self) -> int:
@@ -49,25 +57,30 @@ class HttpConformanceWrapper(Upcalls):
     def _etag(self, path: str) -> str:
         return f'"v{self.versions[path]}"'
 
-    # -- execute -----------------------------------------------------------------
+    # -- kernel hooks: envelopes ------------------------------------------------
 
-    def execute(self, op: bytes, client_id: str, nondet: bytes,
-                read_only: bool = False) -> bytes:
-        method, *args = decanonical(op)
-        if self.library is not None:
-            self.library.charge(self.per_op_cost)
-        handler = getattr(self, f"_op_{method.lower()}", None)
-        if handler is None:
-            return canonical((int(HttpStatus.METHOD_NOT_ALLOWED), method))
-        if read_only and method not in ("GET", "PROPFIND", "HEAD"):
-            return canonical((int(HttpStatus.METHOD_NOT_ALLOWED),
-                              "write on read-only path"))
-        try:
-            return canonical(handler(*args))
-        except HttpError as err:
+    def op_key(self, kind: str) -> str:
+        return kind.lower()
+
+    def unknown_op_reply(self, kind: Any) -> tuple:
+        return (int(HttpStatus.METHOD_NOT_ALLOWED), kind)
+
+    def read_only_reply(self, kind: Any) -> tuple:
+        return (int(HttpStatus.METHOD_NOT_ALLOWED),
+                "write on read-only path")
+
+    def malformed_reply(self, kind: Any, exc: Optional[Exception]) -> tuple:
+        return (int(HttpStatus.BAD_REQUEST),)
+
+    def service_error_reply(self, exc: Exception) -> Optional[tuple]:
+        if isinstance(exc, HttpError):
             # Deterministic: status only; vendor reason strings differ.
-            return canonical((int(err.status),))
+            return (int(exc.status),)
+        return None
 
+    # -- operations --------------------------------------------------------------
+
+    @op(read_only=True)
     def _op_get(self, path: str, if_none_match: str = "") -> tuple:
         path = self._norm(path)
         body, _ = self.server.get(path)
@@ -76,11 +89,13 @@ class HttpConformanceWrapper(Upcalls):
             return (int(HttpStatus.NOT_MODIFIED), etag)
         return (int(HttpStatus.OK), etag, body)
 
+    @op(read_only=True)
     def _op_head(self, path: str) -> tuple:
         path = self._norm(path)
         self.server.get(path)
         return (int(HttpStatus.OK), self._etag(path))
 
+    @op()
     def _op_put(self, path: str, body: bytes, if_match: str = "") -> tuple:
         path = self._norm(path)
         if if_match:
@@ -107,6 +122,7 @@ class HttpConformanceWrapper(Upcalls):
         status = HttpStatus.CREATED if created else HttpStatus.NO_CONTENT
         return (int(status), self._etag(path))
 
+    @op()
     def _op_delete(self, path: str) -> tuple:
         path = self._norm(path)
         if path not in self.versions:
@@ -118,6 +134,7 @@ class HttpConformanceWrapper(Upcalls):
         del self.versions[path]
         return (int(HttpStatus.NO_CONTENT),)
 
+    @op()
     def _op_mkcol(self, path: str) -> tuple:
         path = self._norm(path)
         if path in self.versions:
@@ -134,16 +151,13 @@ class HttpConformanceWrapper(Upcalls):
         self._modify(self.CATALOG_INDEX)
         return (int(HttpStatus.CREATED),)
 
+    @op(read_only=True)
     def _op_propfind(self, path: str) -> tuple:
         path = self._norm(path)
         members = self.server.propfind(path)
         # Abstract spec: name order, regardless of vendor order.
         members = tuple(sorted(members))
         return (int(HttpStatus.OK), members)
-
-    def _modify(self, index: int) -> None:
-        if self.library is not None:
-            self.library.modify(index)
 
     # -- state conversions -----------------------------------------------------------
 
@@ -159,7 +173,14 @@ class HttpConformanceWrapper(Upcalls):
             return canonical(("free", gen))
         if self._is_collection(path):
             return canonical(("col", gen, path))
-        body, _ = self.server.get(path)
+        try:
+            body, _ = self.server.get(path)
+        except HttpError:
+            if self._clean_restarted:
+                # The resource does not exist in the fresh server yet;
+                # an impossible digest forces the check to fetch it.
+                return b""
+            raise
         return canonical(("res", gen, path, self.versions[path], body))
 
     def _is_collection(self, path: str) -> bool:
@@ -176,7 +197,7 @@ class HttpConformanceWrapper(Upcalls):
                        if obj[0] == "col"),
                       key=lambda o: o[2].count("/"))
         for _, gen, path in cols:
-            if path not in self.versions:
+            if path not in self.versions or self._clean_restarted:
                 try:
                     self.server.mkcol(path)
                 except HttpError:
@@ -217,9 +238,29 @@ class HttpConformanceWrapper(Upcalls):
         old = self.resources.key_of(index)
         if old is not None and old != path:
             self._put_free(index, gen)
-        self.server.put(path, body)
+        try:
+            self.server.put(path, body)
+        except HttpError as err:
+            # After a clean restart, objects may arrive before their
+            # parent collections (state transfer batches by partition);
+            # known collections can be re-created from the versions map.
+            if err.status != HttpStatus.CONFLICT:
+                raise
+            self._restore_parent_collections(path)
+            self.server.put(path, body)
         self.resources.install(path, index, gen)
         self.versions[path] = version
+
+    def _restore_parent_collections(self, path: str) -> None:
+        parts = [p for p in path.split("/") if p]
+        prefix = ""
+        for part in parts[:-1]:
+            prefix += "/" + part
+            if self.versions.get(prefix) == 0:
+                try:
+                    self.server.mkcol(prefix)
+                except HttpError:
+                    pass
 
     def _prune_to_catalog(self, catalog_obj: tuple) -> None:
         """Remove local paths absent from the transferred catalog."""
@@ -236,15 +277,16 @@ class HttpConformanceWrapper(Upcalls):
 
     # -- recovery -----------------------------------------------------------------------
 
-    def shutdown(self) -> float:
-        self._saved = canonical((self.resources.save(),
-                                 tuple(sorted(self.versions.items()))))
-        return 1e-8 * len(self._saved)
+    def save_rep(self) -> tuple:
+        return (self.resources.save(),
+                tuple(sorted(self.versions.items())))
 
-    def restart(self) -> float:
-        if self._saved is None:
-            return 0.0
-        mapping_blob, versions = decanonical(self._saved)
+    def load_rep(self, saved: tuple) -> None:
+        mapping_blob, versions = saved
         self.resources = KeyedArrayMapping.load(mapping_blob)
         self.versions = dict(versions)
-        return 1e-8 * len(self._saved)
+        if self.clean_recovery_factory is not None:
+            # Start over on an empty server; resources come back through
+            # put_objs during fetch-and-check.
+            self.server = self.clean_recovery_factory()
+            self._clean_restarted = True

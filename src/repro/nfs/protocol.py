@@ -56,8 +56,18 @@ class FileType(enum.IntEnum):
 
 
 class NfsProc(enum.Enum):
-    """Protocol procedures (names double as wire op tags)."""
+    """Protocol procedures (names double as wire op tags).
 
+    NULL, ROOT, and WRITECACHE are wire-legal in RFC 1094 but outside
+    the common abstract specification: no conformance wrapper registers
+    a handler for them, so they draw the deterministic ``bad procedure``
+    reply (a Byzantine client must not be able to crash a replica with a
+    procedure the spec never promised).
+    """
+
+    NULL = "null"
+    ROOT = "root"
+    WRITECACHE = "writecache"
     GETATTR = "getattr"
     SETATTR = "setattr"
     LOOKUP = "lookup"

@@ -1,4 +1,4 @@
-"""Service builders and transports for the file service.
+"""Registration, transports, and builders for the file service.
 
 Two deployments, matching the paper's evaluation:
 
@@ -8,26 +8,38 @@ Two deployments, matching the paper's evaluation:
   server node (the baseline every table compares against).
 
 Both expose the same :class:`NfsTransport` so the simulated NFS client
-and the Andrew benchmark are oblivious to which they are driving.
+and the Andrew benchmark are oblivious to which they are driving.  The
+service is declared once as a :class:`ServiceDefinition`; both
+deployments come from the shared code paths in
+:mod:`repro.service.deploy`.  ``build_basefs``/``build_nfs_std`` are
+kept as thin typed shims.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence, Tuple, Type
+from typing import List, Optional, Sequence, Tuple, Type
 
-from repro.bft.client import SyncClient
+from repro.base.library import BaseServiceConfig
 from repro.bft.config import BftConfig
-from repro.bft.costs import CostModel, ZERO_COSTS
-from repro.base.library import BaseServiceConfig, build_base_cluster
+from repro.bft.costs import CostModel
 from repro.encoding.canonical import canonical, decanonical
 from repro.harness.cluster import Cluster
 from repro.nfs.backends.core import CostProfile, MemoryFilesystem
+from repro.nfs.backends.vendors import LinuxExt2Backend
 from repro.nfs.protocol import NfsError, NfsProc, NfsStatus, READ_ONLY_PROCS
 from repro.nfs.spec import AbstractSpecConfig
 from repro.nfs.wrapper import NfsConformanceWrapper
-from repro.sim.network import Network, NetworkConfig
-from repro.sim.node import Node
-from repro.sim.scheduler import Scheduler
+from repro.service.deploy import (
+    Channel,
+    DirectService,
+    DirectServiceServer,
+    ServiceDefinition,
+    WrapperContext,
+    build_replicated,
+    build_unreplicated,
+)
+from repro.service.registry import register
+from repro.sim.network import NetworkConfig
 
 
 class NfsTransport:
@@ -50,15 +62,15 @@ class NfsTransport:
 
 
 class BaseFsTransport(NfsTransport):
-    """Client side of BASEFS: procedures ride the BASE invoke path."""
+    """Client side of BASEFS: procedures ride a service channel."""
 
-    def __init__(self, sync_client: SyncClient):
-        self.sync_client = sync_client
+    def __init__(self, channel: Channel):
+        self.channel = channel
 
     def call(self, proc: NfsProc, *args, read_only: bool = False) -> tuple:
         op = canonical((proc.value,) + args)
-        raw = self.sync_client.call(op, read_only=read_only
-                                    and proc in READ_ONLY_PROCS)
+        raw = self.channel.call(op, read_only=read_only
+                                and proc in READ_ONLY_PROCS)
         result = decanonical(raw)
         status = result[0]
         if status != 0:
@@ -70,128 +82,78 @@ class BaseFsTransport(NfsTransport):
         return ROOT_OID
 
     def charge(self, seconds: float) -> None:
-        self.sync_client.client.charge(seconds)
+        self.channel.charge(seconds)
 
     @property
     def now(self) -> float:
-        return self.sync_client.now
+        return self.channel.now
 
 
-class _DirectServer(Node):
-    """Unreplicated NFS server node (the NFS-std baseline)."""
-
-    def __init__(self, node_id, network, backend: MemoryFilesystem):
-        super().__init__(node_id, network)
-        self.backend = backend
-
-    def on_message(self, src, msg):
-        nonce, op = msg
-        proc_name, *args = decanonical(op)
-        try:
-            handler = getattr(self.backend, proc_name)
-            payload = handler(*self._decode_args(proc_name, args))
-            result = (0,) + self._encode_payload(proc_name, payload)
-        except NfsError as err:
-            result = (int(err.status),)
-        nbytes = self._data_bytes(proc_name, args, result)
-        self.charge(self.backend.cost(proc_name, nbytes))
-        self.send(src, (nonce, canonical(result)),
-                  size=64 + _payload_size(result))
-
-    @staticmethod
-    def _decode_args(proc_name: str, args: list):
-        from repro.nfs.protocol import Sattr
-        decoded = []
-        for arg in args:
-            if (isinstance(arg, tuple) and len(arg) == 6
-                    and proc_name in ("setattr", "create", "mkdir",
-                                      "symlink")):
-                decoded.append(Sattr.decode(arg))
-            else:
-                decoded.append(arg)
-        return decoded
-
-    @staticmethod
-    def _encode_payload(proc_name: str, payload) -> tuple:
-        if payload is None:
-            return ()
-        if proc_name in ("getattr", "setattr", "write"):
-            return (payload.encode(),)
-        if proc_name in ("lookup", "create", "mkdir", "symlink"):
-            fh, fattr = payload
-            return (fh, fattr.encode())
-        if proc_name == "read":
-            data, fattr = payload
-            return (data, fattr.encode())
-        if proc_name == "readdir":
-            return (tuple((name, fileid) for name, fileid in payload),)
-        if proc_name == "readlink":
-            return (payload,)
-        if proc_name == "statfs":
-            return (payload.encode(),)
-        if proc_name == "mount":
-            return (payload,)
-        return (payload,)
-
-    @staticmethod
-    def _data_bytes(proc_name: str, args: list, result: tuple) -> int:
-        if proc_name == "write" and len(args) >= 3:
-            return len(args[2])
-        if proc_name == "read" and len(result) > 1:
-            return len(result[1])
-        return 0
-
-
-class DirectTransport(NfsTransport):
-    """Client node talking straight to a :class:`_DirectServer`.
-
-    Drives the scheduler synchronously, exactly like
-    :class:`~repro.bft.client.SyncClient` does for the replicated path, so
-    elapsed simulated time is comparable.
-    """
-
-    def __init__(self, scheduler: Scheduler, network: Network,
-                 server_id: str, client_id: str = "nfs-client"):
-        self.scheduler = scheduler
-        self.network = network
-        self.server_id = server_id
-        self._nonce = 0
-        self._box = {}
-        self._node = Node(client_id, network)
-        self._node.on_message = self._on_message  # type: ignore
-
-    def _on_message(self, src, msg):
-        nonce, raw = msg
-        self._box[nonce] = raw
-
-    def call(self, proc: NfsProc, *args, read_only: bool = False) -> tuple:
-        self._nonce += 1
-        nonce = self._nonce
-        op = canonical((proc.value,) + args)
-        self._node.send(self.server_id, (nonce, op), size=64 + len(op))
-        ok = self.scheduler.run_until_idle_or(lambda: nonce in self._box)
-        if not ok:
-            raise TimeoutError(f"NFS-std call {proc.value} never answered")
-        result = decanonical(self._box.pop(nonce))
-        if result[0] != 0:
-            raise NfsError(NfsStatus(result[0]))
-        return result[1:]
+class DirectTransport(BaseFsTransport):
+    """Same wire surface against the unreplicated baseline; the mount
+    handle comes from the server instead of the abstract root oid."""
 
     def root_fh(self) -> bytes:
-        self._nonce += 1
-        nonce = self._nonce
-        op = canonical(("mount",))
-        self._node.send(self.server_id, (nonce, op))
-        self.scheduler.run_until_idle_or(lambda: nonce in self._box)
-        result = decanonical(self._box.pop(nonce))
+        raw = self.channel.call(canonical(("mount",)))
+        result = decanonical(raw)
+        if result[0] != 0:
+            raise NfsError(NfsStatus(result[0]))
         return result[1]
 
-    def charge(self, seconds: float) -> None:
-        self._node.charge(seconds)
-
     @property
-    def now(self) -> float:
-        return self.scheduler.now
+    def scheduler(self):
+        return self.channel.scheduler
+
+
+# -- the unreplicated request handler --------------------------------------------
+
+#: Wire-legal procedure names the baseline forwards to its backend; any
+#: other tag from a (possibly Byzantine) client gets the deterministic
+#: ``bad procedure`` reply instead of a ``getattr`` free-for-all.
+_DIRECT_PROCS = frozenset(proc.value for proc in NfsProc) | {"mount"}
+
+
+def _decode_args(proc_name: str, args: list):
+    from repro.nfs.protocol import Sattr
+    decoded = []
+    for arg in args:
+        if (isinstance(arg, tuple) and len(arg) == 6
+                and proc_name in ("setattr", "create", "mkdir",
+                                  "symlink")):
+            decoded.append(Sattr.decode(arg))
+        else:
+            decoded.append(arg)
+    return decoded
+
+
+def _encode_payload(proc_name: str, payload) -> tuple:
+    if payload is None:
+        return ()
+    if proc_name in ("getattr", "setattr", "write"):
+        return (payload.encode(),)
+    if proc_name in ("lookup", "create", "mkdir", "symlink"):
+        fh, fattr = payload
+        return (fh, fattr.encode())
+    if proc_name == "read":
+        data, fattr = payload
+        return (data, fattr.encode())
+    if proc_name == "readdir":
+        return (tuple((name, fileid) for name, fileid in payload),)
+    if proc_name == "readlink":
+        return (payload,)
+    if proc_name == "statfs":
+        return (payload.encode(),)
+    if proc_name == "mount":
+        return (payload,)
+    return (payload,)
+
+
+def _data_bytes(proc_name: str, args: list, result: tuple) -> int:
+    if proc_name == "write" and len(args) >= 3:
+        return len(args[2])
+    if proc_name == "read" and len(result) > 1:
+        return len(result[1])
+    return 0
 
 
 def _payload_size(result: tuple) -> int:
@@ -206,7 +168,67 @@ def _payload_size(result: tuple) -> int:
     return total
 
 
-# -- builders ----------------------------------------------------------------------
+def _direct_handler(backend: MemoryFilesystem):
+    def handler(node: DirectServiceServer, src: str,
+                op: bytes) -> Tuple[bytes, int]:
+        proc_name, *args = decanonical(op)
+        backend_proc = getattr(backend, proc_name, None) \
+            if proc_name in _DIRECT_PROCS else None
+        if backend_proc is None:
+            result: tuple = (int(NfsStatus.NFSERR_IO), "bad procedure")
+        else:
+            try:
+                payload = backend_proc(*_decode_args(proc_name, args))
+                result = (0,) + _encode_payload(proc_name, payload)
+            except NfsError as err:
+                result = (int(err.status),)
+            nbytes = _data_bytes(proc_name, args, result)
+            node.charge(backend.cost(proc_name, nbytes))
+        return canonical(result), 64 + _payload_size(result)
+    return handler
+
+
+# -- service registration ----------------------------------------------------------
+
+
+def _backend_kwargs(backend_class: type, index: int, clock,
+                    profile: Optional[CostProfile]) -> dict:
+    kwargs = {"clock": clock, "profile": profile}
+    if backend_class.__name__ == "FreeBsdUfsBackend":
+        kwargs["boot_salt"] = 1000 + index
+    return kwargs
+
+
+def _make_wrapper(ctx: WrapperContext) -> NfsConformanceWrapper:
+    backend_class = ctx.backend_class or LinuxExt2Backend
+    profiles = ctx.options.get("profiles")
+    backend = backend_class(**_backend_kwargs(
+        backend_class, ctx.index, ctx.clock,
+        profiles[ctx.index] if profiles else None))
+    return NfsConformanceWrapper(backend, spec=ctx.options.get("spec"),
+                                 clock=ctx.clock)
+
+
+def _make_direct(ctx: WrapperContext) -> DirectService:
+    backend_class = ctx.backend_class or LinuxExt2Backend
+    backend = backend_class(clock=ctx.clock,
+                            profile=ctx.options.get("profile"))
+    return DirectService(backend=backend, handler=_direct_handler(backend))
+
+
+NFS_SERVICE = register(ServiceDefinition(
+    name="nfs",
+    make_wrapper=_make_wrapper,
+    make_client=BaseFsTransport,
+    make_direct=_make_direct,
+    make_direct_client=DirectTransport,
+    default_backends=(LinuxExt2Backend,) * 4,
+    branching=64,
+    direct_client_id="nfs-client",
+))
+
+
+# -- legacy builder shims ------------------------------------------------------------
 
 
 def build_basefs(backend_classes: Sequence[Type[MemoryFilesystem]],
@@ -226,52 +248,22 @@ def build_basefs(backend_classes: Sequence[Type[MemoryFilesystem]],
     the homogeneous setup (Tables I–III), one per OS for the heterogeneous
     setup (Table V).
     """
-    spec = spec or AbstractSpecConfig()
-    config = config or BftConfig(n=len(backend_classes))
-    clock_box = {}
-
-    def sim_clock() -> float:
-        # Wrapper factories run while the cluster is still being built;
-        # until then the simulation clock reads zero.
-        cluster = clock_box.get("cluster")
-        return cluster.scheduler.now if cluster is not None else 0.0
-
-    def make_factory(i: int):
-        backend_cls = backend_classes[i]
-        profile = profiles[i] if profiles else None
-
-        def factory() -> NfsConformanceWrapper:
-            kwargs = {"clock": sim_clock, "profile": profile}
-            if backend_cls.__name__ == "FreeBsdUfsBackend":
-                kwargs["boot_salt"] = 1000 + i
-            backend = backend_cls(**kwargs)
-            return NfsConformanceWrapper(backend, spec=spec,
-                                         clock=sim_clock)
-        return factory
-
-    cluster = build_base_cluster(
-        [make_factory(i) for i in range(config.n)], config=config,
+    return build_replicated(
+        NFS_SERVICE, list(backend_classes), config=config,
         base_config=BaseServiceConfig(
             branching=branching,
             per_object_check_cost=per_object_check_cost,
             checkpoint_cost=checkpoint_cost),
         network_config=network_config, replica_costs=replica_costs,
-        seed=seed)
-    clock_box["cluster"] = cluster
-    sync = cluster.add_client(client_id)
-    return cluster, BaseFsTransport(sync)
+        client_id=client_id, seed=seed,
+        spec=spec, profiles=list(profiles) if profiles else None)
 
 
-def build_nfs_std(backend_class: Type[MemoryFilesystem] = None,
+def build_nfs_std(backend_class: Optional[Type[MemoryFilesystem]] = None,
                   profile: Optional[CostProfile] = None,
                   network_config: Optional[NetworkConfig] = None,
                   seed: int = 0) -> Tuple[MemoryFilesystem, DirectTransport]:
     """Build the unreplicated NFS-std baseline on its own network."""
-    from repro.nfs.backends.vendors import LinuxExt2Backend
-    backend_class = backend_class or LinuxExt2Backend
-    scheduler = Scheduler()
-    network = Network(scheduler, network_config or NetworkConfig(seed=seed))
-    backend = backend_class(clock=lambda: scheduler.now, profile=profile)
-    _DirectServer("nfs-server", network, backend)
-    transport = DirectTransport(scheduler, network, "nfs-server")
-    return backend, transport
+    return build_unreplicated(NFS_SERVICE, backend_class,
+                              network_config=network_config, seed=seed,
+                              profile=profile)

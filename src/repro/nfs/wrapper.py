@@ -13,16 +13,22 @@ Implements the BASE upcalls around one off-the-shelf NFS backend:
 - ``shutdown``/``restart`` persist/rebuild the conformance representation
   around proactive-recovery reboots, re-resolving file handles from
   ``<fsid, fileid>`` when the server restart invalidated them.
+
+Dispatch, read-only gating, error enveloping, and shutdown/restart
+persistence ride the service kernel (:mod:`repro.service.kernel`): the
+ops below are registered declaratively with ``@op``, so a wire-legal
+procedure outside the abstract specification (NULL, ROOT, WRITECACHE —
+or garbage from a Byzantine client) misses the table and gets the
+deterministic ``bad procedure`` reply instead of reaching ``getattr``.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.base.nondet import TimestampAgreement
-from repro.base.upcalls import Upcalls
-from repro.encoding.canonical import canonical, decanonical
 from repro.errors import StateTransferError
+from repro.service.kernel import AbstractService, OpSpec, op
 from repro.nfs.backends.core import MemoryFilesystem
 from repro.nfs.conformance import ConformanceRep
 from repro.nfs.protocol import (
@@ -46,7 +52,7 @@ from repro.nfs.spec import (
 )
 
 
-class NfsConformanceWrapper(Upcalls):
+class NfsConformanceWrapper(AbstractService):
     """One replica's veneer over one backend NFS server."""
 
     def __init__(self, backend: MemoryFilesystem,
@@ -66,7 +72,6 @@ class NfsConformanceWrapper(Upcalls):
         self.spec = spec or AbstractSpecConfig()
         self.timestamps = TimestampAgreement(clock, delta=clock_delta)
         self.rep = ConformanceRep(self.spec.array_size)
-        self._saved_rep: Optional[bytes] = None
         root_fh = backend.mount()
         root_attr = backend.getattr(root_fh)
         entry = self.rep.entry(0)
@@ -100,32 +105,33 @@ class NfsConformanceWrapper(Upcalls):
         if self.library is not None:
             self.library.charge(self.backend.cost(proc, nbytes))
 
-    def _modify(self, index: int) -> None:
-        if self.library is not None:
-            self.library.modify(index)
+    # -- kernel hooks: envelopes -------------------------------------------------------
 
-    # -- Upcalls: execute ------------------------------------------------------------------
+    def ok_reply(self, payload: tuple) -> tuple:
+        return (0,) + payload
 
-    def execute(self, op: bytes, client_id: str, nondet: bytes,
-                read_only: bool = False) -> bytes:
-        decoded = decanonical(op)
-        proc_name, args = decoded[0], decoded[1:]
-        try:
-            proc = NfsProc(proc_name)
-        except ValueError:
-            return canonical((int(NfsStatus.NFSERR_IO), "bad procedure"))
-        if read_only and proc not in READ_ONLY_PROCS:
-            return canonical((int(NfsStatus.NFSERR_ROFS),
-                              "mutating op on read-only path"))
-        now = 0
-        if proc not in READ_ONLY_PROCS and nondet:
-            now = int(self.timestamps.accept(nondet) * 1_000_000)
-        handler = getattr(self, f"_op_{proc.value}")
-        try:
-            payload = handler(now, *args)
-        except NfsError as err:
-            return canonical((int(err.status),))
-        return canonical((0,) + payload)
+    def unknown_op_reply(self, kind: Any) -> tuple:
+        return (int(NfsStatus.NFSERR_IO), "bad procedure")
+
+    def read_only_reply(self, kind: Any) -> tuple:
+        return (int(NfsStatus.NFSERR_ROFS),
+                "mutating op on read-only path")
+
+    def malformed_reply(self, kind: Any, exc: Optional[Exception]) -> tuple:
+        if kind is None or not isinstance(kind, str) \
+                or self.op_key(kind) not in self.OPS:
+            return self.unknown_op_reply(kind)
+        return (int(NfsStatus.NFSERR_IO), "malformed request")
+
+    def service_error_reply(self, exc: Exception) -> Optional[tuple]:
+        if isinstance(exc, NfsError):
+            return (int(exc.status),)
+        return None
+
+    def agreed_time(self, spec: OpSpec, nondet: bytes) -> int:
+        if spec.read_only or not nondet:
+            return 0
+        return int(self.timestamps.accept(nondet) * 1_000_000)
 
     # -- oid/attr helpers ---------------------------------------------------------------------
 
@@ -157,10 +163,12 @@ class NfsConformanceWrapper(Upcalls):
 
     # -- operations --------------------------------------------------------------------------------
 
+    @op(read_only=True)
     def _op_getattr(self, now: int, fh: bytes) -> tuple:
         index, _ = self._entry_for(fh)
         return (self._abstract_fattr(index).encode(),)
 
+    @op()
     def _op_setattr(self, now: int, fh: bytes, sattr_fields: tuple) -> tuple:
         index, entry = self._entry_for(fh)
         sattr = Sattr.decode(sattr_fields)
@@ -187,6 +195,7 @@ class NfsConformanceWrapper(Upcalls):
             entry.mtime = now
         return (self._abstract_fattr(index).encode(),)
 
+    @op(read_only=True)
     def _op_lookup(self, now: int, dir_fh: bytes, name: str) -> tuple:
         dir_index, dir_entry = self._entry_for(dir_fh)
         if dir_entry.ftype != FileType.NFDIR:
@@ -200,6 +209,7 @@ class NfsConformanceWrapper(Upcalls):
         return (self._oid(child_index),
                 self._abstract_fattr(child_index).encode())
 
+    @op(read_only=True)
     def _op_readlink(self, now: int, fh: bytes) -> tuple:
         index, entry = self._entry_for(fh)
         if entry.ftype != FileType.NFLNK:
@@ -208,6 +218,7 @@ class NfsConformanceWrapper(Upcalls):
         self._charge_backend("readlink")
         return (target,)
 
+    @op(read_only=True)
     def _op_read(self, now: int, fh: bytes, offset: int, count: int) -> tuple:
         index, entry = self._entry_for(fh)
         data, _ = self.backend.read(self._backend_fh(index), offset, count)
@@ -215,6 +226,7 @@ class NfsConformanceWrapper(Upcalls):
         # Abstract spec: reads do not update atime (keeps reads read-only).
         return (data, self._abstract_fattr(index).encode())
 
+    @op()
     def _op_write(self, now: int, fh: bytes, offset: int,
                   data: bytes) -> tuple:
         index, entry = self._entry_for(fh)
@@ -233,16 +245,19 @@ class NfsConformanceWrapper(Upcalls):
         entry.mtime = entry.ctime = now
         return (self._abstract_fattr(index).encode(),)
 
+    @op()
     def _op_create(self, now: int, dir_fh: bytes, name: str,
                    sattr_fields: tuple) -> tuple:
         return self._create_common(now, dir_fh, name, sattr_fields,
                                    FileType.NFREG)
 
+    @op()
     def _op_mkdir(self, now: int, dir_fh: bytes, name: str,
                   sattr_fields: tuple) -> tuple:
         return self._create_common(now, dir_fh, name, sattr_fields,
                                    FileType.NFDIR)
 
+    @op()
     def _op_symlink(self, now: int, dir_fh: bytes, name: str, target: str,
                     sattr_fields: tuple) -> tuple:
         return self._create_common(now, dir_fh, name, sattr_fields,
@@ -296,9 +311,11 @@ class NfsConformanceWrapper(Upcalls):
                              len(name.encode("utf-8")) + 16)
         return (self._oid(index), self._abstract_fattr(index).encode())
 
+    @op()
     def _op_remove(self, now: int, dir_fh: bytes, name: str) -> tuple:
         return self._remove_common(now, dir_fh, name, directory=False)
 
+    @op()
     def _op_rmdir(self, now: int, dir_fh: bytes, name: str) -> tuple:
         return self._remove_common(now, dir_fh, name, directory=True)
 
@@ -327,6 +344,7 @@ class NfsConformanceWrapper(Upcalls):
                              len(name.encode("utf-8")) - 16)
         return ()
 
+    @op()
     def _op_rename(self, now: int, from_fh: bytes, from_name: str,
                    to_fh: bytes, to_name: str) -> tuple:
         from_index, from_entry = self._entry_for(from_fh)
@@ -371,10 +389,12 @@ class NfsConformanceWrapper(Upcalls):
         self.rep.update_size(to_index, to_entry.abstract_size + delta_to)
         return ()
 
+    @op()
     def _op_link(self, now: int, *args) -> tuple:
         # Outside the common abstract specification (single parent index).
         raise NfsError(NfsStatus.NFSERR_PERM, "LINK unsupported by spec")
 
+    @op(read_only=True)
     def _op_readdir(self, now: int, dir_fh: bytes) -> tuple:
         dir_index, dir_entry = self._entry_for(dir_fh)
         if dir_entry.ftype != FileType.NFDIR:
@@ -391,6 +411,7 @@ class NfsConformanceWrapper(Upcalls):
         entries.sort(key=lambda pair: pair[0])  # lexicographic, per spec
         return (tuple(entries),)
 
+    @op(read_only=True)
     def _op_statfs(self, now: int, fh: bytes) -> tuple:
         self._entry_for(fh)
         self._charge_backend("statfs")
@@ -459,9 +480,9 @@ class NfsConformanceWrapper(Upcalls):
 
     # -- proactive recovery (shutdown / restart) ----------------------------------------------------
 
-    def shutdown(self) -> float:
-        """Persist the conformance representation (the <fsid,fileid>→oid
-        map and per-entry metadata) to 'disk'."""
+    def save_rep(self) -> tuple:
+        """The conformance representation (the <fsid,fileid>→oid map and
+        per-entry metadata) as persisted to 'disk' at shutdown."""
         entries = []
         for index, entry in enumerate(self.rep.entries):
             if entry.is_free:
@@ -471,15 +492,12 @@ class NfsConformanceWrapper(Upcalls):
                                 entry.fileid, entry.parent, entry.atime,
                                 entry.mtime, entry.ctime,
                                 entry.abstract_size))
-        self._saved_rep = canonical(tuple(entries))
-        return 1e-8 * len(self._saved_rep)
+        return tuple(entries)
 
-    def restart(self) -> float:
+    def load_rep(self, saved: tuple) -> None:
         """Reload the representation and re-mount; handles are re-resolved
         lazily from <fsid,fileid> since the server restart may have
         invalidated them."""
-        if self._saved_rep is None:
-            return 0.0
         if self.clean_recovery_factory is not None:
             # Start over on an empty file system; every object's value
             # comes back through put_objs during fetch-and-check.
@@ -489,7 +507,6 @@ class NfsConformanceWrapper(Upcalls):
             if rejuvenate is not None:
                 rejuvenate()
             self.backend.server_restart()
-        saved = decanonical(self._saved_rep)
         rep = ConformanceRep(self.spec.array_size)
         rep._free_heap = []
         for (index, ftype, gen, fileid, parent, atime, mtime, ctime,
@@ -519,7 +536,6 @@ class NfsConformanceWrapper(Upcalls):
         self.rep.set_fh(0, root_fh)
         self.rep.fileid_to_index[root_attr.fileid] = 0
         self.rep.entry(0).fileid = root_attr.fileid
-        return 1e-8 * len(self._saved_rep)
 
     def _resolve_fh(self, index: int, visited: set) -> None:
         """Recover the backend handle for ``index`` after a restart: walk
@@ -549,3 +565,11 @@ class NfsConformanceWrapper(Upcalls):
                 fh, _ = self.backend.lookup(parent_fh, name)
                 self._charge_backend("lookup")
                 self.rep.set_fh(sibling, fh)
+
+# The declarative op table and the protocol's wire constants must agree:
+# every registered handler implements a spec procedure, and the table's
+# read-only set is exactly READ_ONLY_PROCS (the BFT read-only gate).
+assert frozenset(NfsConformanceWrapper.OPS) <= \
+    frozenset(proc.value for proc in NfsProc)
+assert NfsConformanceWrapper.read_only_ops() == \
+    frozenset(proc.value for proc in READ_ONLY_PROCS)

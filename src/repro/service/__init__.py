@@ -1,0 +1,59 @@
+"""The unified service kernel.
+
+Every replicated service in this repository is a *conformance wrapper*
+(paper §3) around an off-the-shelf implementation plus a deployment that
+puts four of those wrappers behind the BASE library.  This package
+factors the parts every service used to re-implement by hand into one
+kernel:
+
+- :mod:`repro.service.kernel` — :class:`AbstractService`, a base class
+  over :class:`~repro.base.upcalls.Upcalls` with declarative ``@op``
+  registration (dispatch table built at class-definition time), uniform
+  read-only gating, canonical error envelopes, malformed-request
+  handling, and shared shutdown/restart persistence of the conformance
+  representation;
+- :mod:`repro.service.deploy` — one replicated and one unreplicated
+  deployment code path (channels, direct-server node, builders) that the
+  per-service ``build_*`` functions are thin declarations over;
+- :mod:`repro.service.registry` — the :class:`ServiceRegistry` mapping
+  service names to their :class:`~repro.service.deploy.ServiceDefinition`;
+- :mod:`repro.service.conformance` — the cross-service conformance
+  battery run by ``tests/test_service_conformance.py`` against every
+  registered service.
+
+Adding a backend is now a wrapper subclass plus one registration; see
+``docs/SERVICES.md``.
+"""
+
+from repro.service.kernel import AbstractService, OpSpec, op
+from repro.service.deploy import (
+    Channel,
+    DirectChannel,
+    DirectService,
+    DirectServiceServer,
+    ReplicatedChannel,
+    ServiceDefinition,
+    WrapperContext,
+    build_replicated,
+    build_unreplicated,
+)
+from repro.service.registry import ServiceRegistry, get_service, register, service_names
+
+__all__ = [
+    "AbstractService",
+    "Channel",
+    "DirectChannel",
+    "DirectService",
+    "DirectServiceServer",
+    "OpSpec",
+    "ReplicatedChannel",
+    "ServiceDefinition",
+    "ServiceRegistry",
+    "WrapperContext",
+    "build_replicated",
+    "build_unreplicated",
+    "get_service",
+    "op",
+    "register",
+    "service_names",
+]

@@ -1,0 +1,251 @@
+"""One replicated and one unreplicated deployment code path.
+
+Each service used to carry a near-identical ``build_base_*`` /
+``build_*_std`` pair: the replicated builder wired wrapper factories
+into :func:`~repro.base.library.build_base_cluster` and wrapped a
+:class:`~repro.bft.client.SyncClient`; the baseline builder stood up a
+scheduler, a network, a request/response server node, and a client node
+with its own nonce/mailbox plumbing.  This module implements both paths
+once over a declarative :class:`ServiceDefinition`; the per-service
+``build_*`` functions are thin registrations (see the ``service.py``
+module of each service).
+
+Clients talk to either deployment through a :class:`Channel` — ``call``
+one canonical-encoded op, ``charge`` client CPU, read ``now`` — so each
+service defines a single client class that is oblivious to whether it is
+driving four replicas or one plain server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Type
+
+from repro.base.library import BaseServiceConfig, build_base_cluster
+from repro.base.upcalls import Upcalls
+from repro.bft.client import SyncClient
+from repro.bft.config import BftConfig
+from repro.bft.costs import CostModel
+from repro.harness.cluster import Cluster
+from repro.sim.network import Network, NetworkConfig
+from repro.sim.node import Node
+from repro.sim.scheduler import Scheduler
+
+
+class Channel:
+    """How a service client reaches its deployment."""
+
+    def call(self, op: bytes, read_only: bool = False) -> bytes:
+        raise NotImplementedError
+
+    def charge(self, seconds: float) -> None:
+        """Burn client-machine CPU (workload think time)."""
+        raise NotImplementedError
+
+    @property
+    def now(self) -> float:
+        raise NotImplementedError
+
+
+class ReplicatedChannel(Channel):
+    """Rides the BASE invoke path of a replicated deployment."""
+
+    def __init__(self, sync_client: SyncClient):
+        self.sync_client = sync_client
+
+    def call(self, op: bytes, read_only: bool = False) -> bytes:
+        return self.sync_client.call(op, read_only=read_only)
+
+    def charge(self, seconds: float) -> None:
+        self.sync_client.client.charge(seconds)
+
+    @property
+    def now(self) -> float:
+        return self.sync_client.now
+
+
+class DirectChannel(Channel):
+    """Request/response to an unreplicated server node.
+
+    Drives the scheduler synchronously, exactly like
+    :class:`~repro.bft.client.SyncClient` does for the replicated path,
+    so elapsed simulated time is comparable.
+    """
+
+    def __init__(self, service: str, scheduler: Scheduler, network: Network,
+                 server_id: str, client_id: str):
+        self.service = service
+        self.scheduler = scheduler
+        self.server_id = server_id
+        self._nonce = 0
+        self._box: Dict[int, bytes] = {}
+        self._node = Node(client_id, network)
+        self._node.on_message = self._on_message  # type: ignore
+
+    def _on_message(self, src, msg) -> None:
+        nonce, raw = msg
+        self._box[nonce] = raw
+
+    def call(self, op: bytes, read_only: bool = False) -> bytes:
+        self._nonce += 1
+        nonce = self._nonce
+        self._node.send(self.server_id, (nonce, op), size=64 + len(op))
+        if not self.scheduler.run_until_idle_or(lambda: nonce in self._box):
+            raise TimeoutError(f"{self.service} server never answered")
+        return self._box.pop(nonce)
+
+    def charge(self, seconds: float) -> None:
+        self._node.charge(seconds)
+
+    @property
+    def now(self) -> float:
+        return self.scheduler.now
+
+
+class DirectServiceServer(Node):
+    """Unreplicated server node: one handler answers each request."""
+
+    def __init__(self, node_id: str, network: Network,
+                 handler: Callable[["DirectServiceServer", str, bytes],
+                                   Tuple[bytes, int]]):
+        super().__init__(node_id, network)
+        self.handler = handler
+
+    def on_message(self, src, msg) -> None:
+        nonce, op = msg
+        reply, size = self.handler(self, src, op)
+        self.send(src, (nonce, reply), size=size)
+
+
+@dataclass
+class WrapperContext:
+    """What a service's factories get to build one wrapper or baseline."""
+
+    index: int
+    backend_class: Optional[type]
+    #: Reads the deployment's simulated clock (zero while still building).
+    clock: Callable[[], float]
+    #: Service-specific build options, passed through the builder.
+    options: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class DirectService:
+    """One unreplicated baseline: the backend object, the request handler
+    (returns the reply blob and its wire size), and optional wiring run
+    once the server node exists (e.g. routing disk charges to it)."""
+
+    backend: Any
+    handler: Callable[[DirectServiceServer, str, bytes], Tuple[bytes, int]]
+    wire: Optional[Callable[[DirectServiceServer], None]] = None
+
+
+@dataclass
+class ServiceDefinition:
+    """Declarative registration of one service with the kernel."""
+
+    name: str
+    #: Build one conformance wrapper for replica ``ctx.index``.
+    make_wrapper: Callable[[WrapperContext], Upcalls]
+    #: Build the service's client/transport over a channel.
+    make_client: Callable[[Channel], Any]
+    #: Build the unreplicated baseline.
+    make_direct: Optional[Callable[[WrapperContext], DirectService]] = None
+    #: Client class for the baseline, when it differs (e.g. NFS resolves
+    #: the mount handle differently).
+    make_direct_client: Optional[Callable[[Channel], Any]] = None
+    #: Per-replica backend classes when the caller passes none.
+    default_backends: Tuple[Optional[type], ...] = (None,) * 4
+    #: Default partition-tree branching for this service's state size.
+    branching: int = 16
+    client_id: str = ""
+    direct_server_id: str = ""
+    direct_client_id: str = ""
+    #: Run once per replica after the cluster is built (e.g. charge hooks).
+    wire_replica: Optional[Callable[[Any, Upcalls], None]] = None
+
+    def __post_init__(self) -> None:
+        self.client_id = self.client_id or f"{self.name}-client"
+        self.direct_server_id = self.direct_server_id or f"{self.name}-server"
+        self.direct_client_id = (self.direct_client_id
+                                 or f"{self.name}-client-node")
+
+
+def build_replicated(definition: ServiceDefinition,
+                     backend_classes: Optional[Sequence[Optional[type]]] = None,
+                     *,
+                     config: Optional[BftConfig] = None,
+                     base_config: Optional[BaseServiceConfig] = None,
+                     network_config: Optional[NetworkConfig] = None,
+                     replica_costs: Optional[List[CostModel]] = None,
+                     client_id: Optional[str] = None,
+                     seed: int = 0,
+                     **options: Any) -> Tuple[Cluster, Any]:
+    """Build a BASE-replicated deployment of one registered service.
+
+    ``backend_classes`` has one entry per replica — all the same class
+    for homogeneous replication, one per vendor for the opportunistic
+    N-version setups.  Extra keyword arguments flow to the service's
+    wrapper factory through :class:`WrapperContext`.
+    """
+    if backend_classes is None:
+        if config is not None and config.n != len(definition.default_backends):
+            backends: List[Optional[type]] = \
+                list(definition.default_backends[:1]) * config.n
+        else:
+            backends = list(definition.default_backends)
+    else:
+        backends = list(backend_classes)
+    config = config or BftConfig(n=len(backends))
+    base_config = base_config or BaseServiceConfig(
+        branching=definition.branching)
+    clock_box: Dict[str, Cluster] = {}
+
+    def sim_clock() -> float:
+        # Wrapper factories run while the cluster is still being built;
+        # until then the simulation clock reads zero.
+        cluster = clock_box.get("cluster")
+        return cluster.scheduler.now if cluster is not None else 0.0
+
+    def factory_for(i: int) -> Callable[[], Upcalls]:
+        def factory() -> Upcalls:
+            return definition.make_wrapper(WrapperContext(
+                index=i, backend_class=backends[i], clock=sim_clock,
+                options=dict(options)))
+        return factory
+
+    cluster = build_base_cluster(
+        [factory_for(i) for i in range(config.n)], config=config,
+        base_config=base_config, network_config=network_config,
+        replica_costs=replica_costs, seed=seed)
+    clock_box["cluster"] = cluster
+    if definition.wire_replica is not None:
+        for replica in cluster.replicas:
+            definition.wire_replica(replica, replica.state.upcalls)
+    sync = cluster.add_client(client_id or definition.client_id)
+    return cluster, definition.make_client(ReplicatedChannel(sync))
+
+
+def build_unreplicated(definition: ServiceDefinition,
+                       backend_class: Optional[type] = None,
+                       *,
+                       network_config: Optional[NetworkConfig] = None,
+                       seed: int = 0,
+                       **options: Any) -> Tuple[Any, Any]:
+    """Build the unreplicated baseline deployment on its own network."""
+    if definition.make_direct is None:
+        raise ValueError(f"service {definition.name!r} has no baseline")
+    scheduler = Scheduler()
+    network = Network(scheduler, network_config or NetworkConfig(seed=seed))
+    direct = definition.make_direct(WrapperContext(
+        index=0, backend_class=backend_class,
+        clock=lambda: scheduler.now, options=dict(options)))
+    node = DirectServiceServer(definition.direct_server_id, network,
+                               direct.handler)
+    if direct.wire is not None:
+        direct.wire(node)
+    channel = DirectChannel(definition.name, scheduler, network,
+                            definition.direct_server_id,
+                            definition.direct_client_id)
+    make_client = definition.make_direct_client or definition.make_client
+    return direct.backend, make_client(channel)

@@ -1,0 +1,223 @@
+"""Declarative operation dispatch for conformance wrappers.
+
+Every conformance wrapper used to hand-roll the same ``execute`` shape:
+decode the canonical op tuple, ``getattr(self, f"_op_{kind}")`` (one of
+them without a default — an unknown op from a Byzantine client became an
+``AttributeError`` through the replica), gate the read-only path, accept
+the agreed nondeterministic value, and translate service exceptions into
+a deterministic error envelope.  :class:`AbstractService` implements
+that shape once, over a dispatch table built at class-definition time
+from ``@op``-decorated methods, with small per-service hooks for the
+envelope formats the wire protocols pin down.
+
+The same class also centralizes the shutdown/restart persistence of the
+conformance representation (paper §3.1.4): subclasses implement
+``save_rep``/``load_rep`` over plain canonical-encodable values and the
+kernel owns the serialization and the simulated I/O cost.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, FrozenSet, Optional, Tuple
+
+from repro.base.upcalls import Upcalls
+from repro.encoding.canonical import canonical, decanonical
+
+
+class OpSpec:
+    """One registered operation of a service's abstract specification."""
+
+    __slots__ = ("name", "method", "read_only", "cost")
+
+    def __init__(self, name: str, method: Callable, read_only: bool,
+                 cost: float):
+        self.name = name
+        self.method = method
+        #: Eligible for BFT's read-only optimization; mutating ops issued
+        #: on the read-only path are rejected with the service's envelope.
+        self.read_only = read_only
+        #: Extra simulated CPU seconds charged per invocation (on top of
+        #: the service-wide ``per_op_cost``).
+        self.cost = cost
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"OpSpec({self.name!r}, read_only={self.read_only}, "
+                f"cost={self.cost})")
+
+
+def op(name: Optional[str] = None, *, read_only: bool = False,
+       cost: float = 0.0):
+    """Register a method as one operation of the abstract specification.
+
+    The wire op tag defaults to the method name with its ``_op_`` prefix
+    stripped; pass ``name`` to register under a different tag (e.g. the
+    HTTP wrapper registers ``_op_get`` as ``GET`` is normalized through
+    :meth:`AbstractService.op_key`).
+    """
+
+    def decorate(method: Callable) -> Callable:
+        tag = name
+        if tag is None:
+            tag = method.__name__
+            if tag.startswith("_op_"):
+                tag = tag[len("_op_"):]
+        method.__op_spec__ = OpSpec(tag, method, read_only, cost)
+        return method
+
+    return decorate
+
+
+class AbstractService(Upcalls):
+    """Upcalls base with table dispatch and shared recovery persistence.
+
+    Subclasses declare operations with ``@op`` and override the small
+    envelope hooks; ``execute`` itself is final in spirit — the dispatch,
+    gating, and error-translation logic lives here once.
+    """
+
+    #: Built by ``__init_subclass__``: wire op tag -> OpSpec.
+    OPS: Dict[str, OpSpec] = {}
+
+    #: Exceptions treated as malformed client input when no service
+    #: envelope claims them: wrong arity or argument types from a faulty
+    #: client must produce a deterministic error reply, not crash the
+    #: replica.
+    MALFORMED_EXC: Tuple[type, ...] = (TypeError, ValueError)
+
+    #: Simulated seconds per byte to persist/reload the conformance
+    #: representation around proactive-recovery reboots.
+    REP_IO_COST_PER_BYTE: float = 1e-8
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        table: Dict[str, OpSpec] = {}
+        for base in reversed(cls.__mro__):
+            for value in vars(base).values():
+                spec = getattr(value, "__op_spec__", None)
+                if spec is not None:
+                    table[spec.name] = spec
+        cls.OPS = table
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: Simulated CPU seconds charged for every operation (faulty or
+        #: not) before dispatch; per-op extras come from ``@op(cost=...)``.
+        self.per_op_cost: float = 0.0
+        self._saved_rep: Optional[bytes] = None
+
+    # -- introspection -----------------------------------------------------------
+
+    @classmethod
+    def read_only_ops(cls) -> FrozenSet[str]:
+        """Wire tags of the ops eligible for the read-only path."""
+        return frozenset(name for name, spec in cls.OPS.items()
+                         if spec.read_only)
+
+    # -- execute (the shared shape) ----------------------------------------------
+
+    def execute(self, op: bytes, client_id: str, nondet: bytes,
+                read_only: bool = False) -> bytes:
+        kind: Any = None
+        try:
+            decoded = decanonical(op)
+            kind, args = decoded[0], tuple(decoded[1:])
+        except Exception:
+            return canonical(self.malformed_reply(kind, None))
+        key = self.op_key(kind) if isinstance(kind, str) else None
+        spec = self.OPS.get(key) if key is not None else None
+        self.charge_op(spec)
+        if spec is None:
+            return canonical(self.unknown_op_reply(kind))
+        if read_only and not spec.read_only:
+            return canonical(self.read_only_reply(kind))
+        now = self.agreed_time(spec, nondet)
+        if now is not None:
+            args = (now,) + args
+        try:
+            payload = spec.method(self, *args)
+        except Exception as exc:
+            reply = self.service_error_reply(exc)
+            if reply is None and isinstance(exc, self.MALFORMED_EXC):
+                reply = self.malformed_reply(kind, exc)
+            if reply is None:
+                raise
+            return canonical(reply)
+        return canonical(self.ok_reply(payload))
+
+    # -- per-service hooks ---------------------------------------------------------
+
+    def op_key(self, kind: str) -> str:
+        """Normalize a wire op tag to a table key (e.g. HTTP methods)."""
+        return kind
+
+    def charge_op(self, spec: Optional[OpSpec]) -> None:
+        """Charge simulated CPU for one request (unknown ops included —
+        a faulty client still costs the replica the decode)."""
+        seconds = self.per_op_cost + (spec.cost if spec is not None else 0.0)
+        if seconds:
+            self.charge(seconds)
+
+    def agreed_time(self, spec: OpSpec, nondet: bytes) -> Optional[int]:
+        """Accept the agreed nondeterministic value and return the value
+        to prepend to the handler's arguments, or None for services whose
+        handlers do not take one."""
+        return None
+
+    def ok_reply(self, payload: tuple) -> tuple:
+        """Wrap a handler's payload in the service's success envelope."""
+        return payload
+
+    def unknown_op_reply(self, kind: Any) -> tuple:
+        """Envelope for an op tag outside the abstract specification."""
+        raise NotImplementedError
+
+    def read_only_reply(self, kind: Any) -> tuple:
+        """Envelope for a mutating op issued on the read-only path."""
+        raise NotImplementedError
+
+    def malformed_reply(self, kind: Any, exc: Optional[Exception]) -> tuple:
+        """Envelope for undecodable or ill-typed requests.  Defaults to
+        the unknown-op envelope; services with a richer error vocabulary
+        override it."""
+        return self.unknown_op_reply(kind)
+
+    def service_error_reply(self, exc: Exception) -> Optional[tuple]:
+        """Map a service exception to its deterministic error envelope,
+        or return None to let it propagate (library bugs must surface)."""
+        return None
+
+    # -- library plumbing shared by every wrapper ---------------------------------
+
+    def _modify(self, index: int) -> None:
+        """Record the imminent mutation of abstract object ``index``
+        (copy-on-write checkpointing)."""
+        if self.library is not None:
+            self.library.modify(index)
+
+    def charge(self, seconds: float) -> None:
+        if self.library is not None:
+            self.library.charge(seconds)
+
+    # -- proactive recovery (shutdown / restart) ----------------------------------
+
+    def save_rep(self) -> Optional[Any]:
+        """The conformance representation as a canonical-encodable value,
+        or None if the service keeps nothing across reboots."""
+        return None
+
+    def load_rep(self, saved: Any) -> None:
+        """Rebuild the conformance representation from ``save_rep``'s
+        value after the reboot."""
+
+    def shutdown(self) -> float:
+        saved = self.save_rep()
+        if saved is None:
+            return 0.0
+        self._saved_rep = canonical(saved)
+        return self.REP_IO_COST_PER_BYTE * len(self._saved_rep)
+
+    def restart(self) -> float:
+        if self._saved_rep is None:
+            return 0.0
+        self.load_rep(decanonical(self._saved_rep))
+        return self.REP_IO_COST_PER_BYTE * len(self._saved_rep)

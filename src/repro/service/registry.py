@@ -1,0 +1,81 @@
+"""Registry of the services built on the kernel.
+
+Each service's ``service.py`` registers its
+:class:`~repro.service.deploy.ServiceDefinition` at import time; the
+cross-service conformance harness and any by-name tooling iterate the
+registry instead of hard-coding the four stacks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+from repro.service.deploy import ServiceDefinition
+
+#: Importing these modules populates the default registry.
+_SERVICE_MODULES = (
+    "repro.nfs.service",
+    "repro.thor.service",
+    "repro.sql.service",
+    "repro.http.service",
+)
+
+
+class ServiceRegistry:
+    """Name -> :class:`ServiceDefinition` mapping."""
+
+    def __init__(self) -> None:
+        self._services: Dict[str, ServiceDefinition] = {}
+
+    def register(self, definition: ServiceDefinition) -> ServiceDefinition:
+        existing = self._services.get(definition.name)
+        if existing is not None and existing is not definition:
+            raise ValueError(f"service {definition.name!r} already "
+                             f"registered")
+        self._services[definition.name] = definition
+        return definition
+
+    def get(self, name: str) -> ServiceDefinition:
+        try:
+            return self._services[name]
+        except KeyError:
+            raise KeyError(f"unknown service {name!r}; registered: "
+                           f"{sorted(self._services)}") from None
+
+    def names(self) -> List[str]:
+        return sorted(self._services)
+
+    def __iter__(self) -> Iterator[ServiceDefinition]:
+        return iter(self._services.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._services
+
+
+#: The default registry used by the builders and the conformance harness.
+REGISTRY = ServiceRegistry()
+
+
+def register(definition: ServiceDefinition) -> ServiceDefinition:
+    return REGISTRY.register(definition)
+
+
+def load_all() -> ServiceRegistry:
+    """Import every service module so the registry is fully populated."""
+    import importlib
+
+    for module in _SERVICE_MODULES:
+        importlib.import_module(module)
+    return REGISTRY
+
+
+def get_service(name: str) -> ServiceDefinition:
+    """Look up a service by name, loading the service modules on demand."""
+    if name not in REGISTRY:
+        load_all()
+    return REGISTRY.get(name)
+
+
+def service_names() -> List[str]:
+    load_all()
+    return REGISTRY.names()

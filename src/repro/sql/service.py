@@ -1,32 +1,48 @@
-"""Builders and client for the relational service."""
+"""Registration, client, and builders for the relational service.
+
+The service is declared once as a :class:`ServiceDefinition`; both
+deployments come from the shared code paths in
+:mod:`repro.service.deploy`.  ``build_base_sql``/``build_sql_std`` are
+kept as thin typed shims over them.
+"""
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence, Tuple, Type
+from typing import List, Optional, Sequence, Tuple, Type
 
-from repro.base.library import BaseServiceConfig, build_base_cluster
-from repro.bft.client import SyncClient
+from repro.base.library import BaseServiceConfig
 from repro.bft.config import BftConfig
 from repro.bft.costs import CostModel
 from repro.encoding.canonical import canonical, decanonical
 from repro.harness.cluster import Cluster
-from repro.sim.network import Network, NetworkConfig
-from repro.sim.node import Node
-from repro.sim.scheduler import Scheduler
-from repro.sql.engine import SqlEngine, SqlEngineError
+from repro.service.deploy import (
+    Channel,
+    DirectService,
+    DirectServiceServer,
+    ServiceDefinition,
+    WrapperContext,
+    build_replicated,
+    build_unreplicated,
+)
+from repro.service.registry import register
+from repro.sim.network import NetworkConfig
+from repro.sql.engine import BTreeStoreEngine, SqlEngine, SqlEngineError
 from repro.sql.wrapper import SqlConformanceWrapper
 
-READ_ONLY_OPS = frozenset({"select", "scan", "tables", "row_count"})
+#: Ops eligible for BFT's read-only path — read straight off the
+#: declarative op table instead of a hand-maintained copy.
+READ_ONLY_OPS = SqlConformanceWrapper.read_only_ops()
 
 
 class SqlClient:
     """ODBC-ish client API over either deployment."""
 
-    def __init__(self, call: Callable[[bytes, bool], bytes]):
-        self._call = call
+    def __init__(self, channel: Channel):
+        self._channel = channel
 
     def _issue(self, *parts, read_only: bool = False):
-        result = decanonical(self._call(canonical(parts), read_only))
+        raw = self._channel.call(canonical(parts), read_only=read_only)
+        result = decanonical(raw)
         if result[0] != "OK":
             raise SqlEngineError(result[1], result[2] if len(result) > 2
                                  else "")
@@ -61,6 +77,45 @@ class SqlClient:
         return self._issue("row_count", table, read_only=True)[0]
 
 
+# -- service registration ----------------------------------------------------------
+
+
+def _make_wrapper(ctx: WrapperContext) -> SqlConformanceWrapper:
+    engine_class = ctx.backend_class or BTreeStoreEngine
+    return SqlConformanceWrapper(
+        engine_class(),
+        array_size=ctx.options.get("array_size", 512),
+        per_op_cost=ctx.options.get("per_op_cost", 0.0),
+        clean_recovery_factory=engine_class
+        if ctx.options.get("clean_recovery") else None)
+
+
+def _make_direct(ctx: WrapperContext) -> DirectService:
+    engine_class = ctx.backend_class or BTreeStoreEngine
+    engine = engine_class()
+    wrapper = SqlConformanceWrapper(engine)
+
+    def handler(node: DirectServiceServer, src: str,
+                op: bytes) -> Tuple[bytes, int]:
+        raw = wrapper.execute(op, src, b"")
+        return raw, 64 + len(raw)
+
+    return DirectService(backend=engine, handler=handler)
+
+
+SQL_SERVICE = register(ServiceDefinition(
+    name="sql",
+    make_wrapper=_make_wrapper,
+    make_client=SqlClient,
+    make_direct=_make_direct,
+    default_backends=(BTreeStoreEngine,) * 4,
+    branching=16,
+))
+
+
+# -- legacy builder shims ------------------------------------------------------------
+
+
 def build_base_sql(engine_classes: Sequence[Type[SqlEngine]],
                    array_size: int = 512,
                    config: Optional[BftConfig] = None,
@@ -68,56 +123,20 @@ def build_base_sql(engine_classes: Sequence[Type[SqlEngine]],
                    replica_costs: Optional[List[CostModel]] = None,
                    per_op_cost: float = 0.0,
                    branching: int = 16,
+                   clean_recovery: bool = False,
                    seed: int = 0) -> Tuple[Cluster, SqlClient]:
     """Replicated deployment; mix engine classes for N-version operation."""
-    config = config or BftConfig(n=len(engine_classes))
-    factories = [
-        (lambda cls=cls: SqlConformanceWrapper(cls(), array_size=array_size,
-                                               per_op_cost=per_op_cost))
-        for cls in engine_classes]
-    cluster = build_base_cluster(
-        factories, config=config,
+    return build_replicated(
+        SQL_SERVICE, list(engine_classes), config=config,
         base_config=BaseServiceConfig(branching=branching),
         network_config=network_config, replica_costs=replica_costs,
-        seed=seed)
-    sync = cluster.add_client("sql-client")
-
-    def call(op: bytes, read_only: bool) -> bytes:
-        return sync.call(op, read_only=read_only)
-
-    return cluster, SqlClient(call)
+        seed=seed, array_size=array_size, per_op_cost=per_op_cost,
+        clean_recovery=clean_recovery)
 
 
-class _DirectSqlServer(Node):
-    def __init__(self, node_id, network, engine: SqlEngine):
-        super().__init__(node_id, network)
-        self.wrapper = SqlConformanceWrapper(engine)
-
-    def on_message(self, src, msg):
-        nonce, op = msg
-        raw = self.wrapper.execute(op, src, b"")
-        self.send(src, (nonce, raw), size=64 + len(raw))
-
-
-def build_sql_std(engine_class: Type[SqlEngine],
+def build_sql_std(engine_class: Optional[Type[SqlEngine]] = None,
                   network_config: Optional[NetworkConfig] = None,
                   seed: int = 0) -> Tuple[SqlEngine, SqlClient]:
     """Unreplicated baseline (one engine behind the same wire surface)."""
-    scheduler = Scheduler()
-    network = Network(scheduler, network_config or NetworkConfig(seed=seed))
-    engine = engine_class()
-    server = _DirectSqlServer("sql-server", network, engine)
-    box = {}
-    counter = {"nonce": 0}
-    client_node = Node("sql-client-node", network)
-    client_node.on_message = lambda src, msg: box.__setitem__(msg[0], msg[1])
-
-    def call(op: bytes, read_only: bool) -> bytes:
-        counter["nonce"] += 1
-        nonce = counter["nonce"]
-        client_node.send("sql-server", (nonce, op), size=64 + len(op))
-        if not scheduler.run_until_idle_or(lambda: nonce in box):
-            raise TimeoutError("sql server never answered")
-        return box.pop(nonce)
-
-    return engine, SqlClient(call)
+    return build_unreplicated(SQL_SERVICE, engine_class,
+                              network_config=network_config, seed=seed)

@@ -11,63 +11,77 @@ Common abstract specification (what ODBC under-specifies, pinned down):
   orders are hidden);
 - errors are the deterministic SQLSTATE-ish codes of the spec, never
   engine internals.
+
+Dispatch, read-only gating, error enveloping, and shutdown/restart
+persistence ride the service kernel (:mod:`repro.service.kernel`); this
+module declares the ops and the state conversions.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.base.mappings import KeyedArrayMapping
-from repro.base.upcalls import Upcalls
 from repro.encoding.canonical import canonical, decanonical
 from repro.errors import StateTransferError
+from repro.service.kernel import AbstractService, op
 from repro.sql.engine import SqlEngine, SqlEngineError
 
 
-class SqlConformanceWrapper(Upcalls):
+class SqlConformanceWrapper(AbstractService):
     """One replica's veneer over one relational engine."""
 
     CATALOG_INDEX = 0
 
     def __init__(self, engine: SqlEngine, array_size: int = 1024,
-                 per_op_cost: float = 0.0):
+                 per_op_cost: float = 0.0,
+                 clean_recovery_factory: Optional[
+                     Callable[[], SqlEngine]] = None):
         super().__init__()
         self.engine = engine
         self.array_size = array_size
         self.per_op_cost = per_op_cost
+        #: §3.1.4's improvement, applied to the relational service: when
+        #: set, restart() discards the old engine and rebuilds onto a
+        #: *fresh* one from the abstract state fetched during recovery.
+        self.clean_recovery_factory = clean_recovery_factory
+        self._clean_restarted = False
         self.rows: KeyedArrayMapping = KeyedArrayMapping(array_size,
                                                          reserved=1)
-        self._saved: Optional[bytes] = None
 
     @property
     def num_objects(self) -> int:
         return self.array_size
 
-    # -- execute ---------------------------------------------------------------
+    # -- kernel hooks: envelopes ------------------------------------------------
 
-    def execute(self, op: bytes, client_id: str, nondet: bytes,
-                read_only: bool = False) -> bytes:
-        kind, *args = decanonical(op)
-        if self.library is not None:
-            self.library.charge(self.per_op_cost)
-        handler = getattr(self, f"_op_{kind}", None)
-        if handler is None:
-            return canonical(("ERROR", "42000", f"unknown op {kind}"))
-        if read_only and kind not in ("select", "scan", "tables",
-                                      "row_count"):
-            return canonical(("ERROR", "25006", "write on read-only path"))
-        try:
-            return canonical(("OK",) + handler(*args))
-        except SqlEngineError as err:
-            return canonical(("ERROR", err.code, str(err)))
-        except (TypeError, ValueError) as err:
-            return canonical(("ERROR", "42000", type(err).__name__))
+    def ok_reply(self, payload: tuple) -> tuple:
+        return ("OK",) + payload
 
+    def unknown_op_reply(self, kind: Any) -> tuple:
+        return ("ERROR", "42000", f"unknown op {kind}")
+
+    def read_only_reply(self, kind: Any) -> tuple:
+        return ("ERROR", "25006", "write on read-only path")
+
+    def malformed_reply(self, kind: Any, exc: Optional[Exception]) -> tuple:
+        return ("ERROR", "42000",
+                type(exc).__name__ if exc is not None else "malformed")
+
+    def service_error_reply(self, exc: Exception) -> Optional[tuple]:
+        if isinstance(exc, SqlEngineError):
+            return ("ERROR", exc.code, str(exc))
+        return None
+
+    # -- operations --------------------------------------------------------------
+
+    @op()
     def _op_create_table(self, name: str, columns: tuple, key: str) -> tuple:
         self._modify(self.CATALOG_INDEX)
         self.engine.create_table(name, tuple(columns), key)
         return ()
 
+    @op()
     def _op_drop_table(self, name: str) -> tuple:
         self._modify(self.CATALOG_INDEX)
         # Every row of the table disappears from the abstract state.
@@ -80,11 +94,13 @@ class SqlConformanceWrapper(Upcalls):
         self.engine.drop_table(name)
         return ()
 
+    @op(read_only=True)
     def _op_tables(self) -> tuple:
         catalog = sorted(self.engine.tables())
         return (tuple((name, tuple(cols), key)
                       for name, cols, key in catalog),)
 
+    @op()
     def _op_insert(self, table: str, values: tuple) -> tuple:
         key_pos = self._key_pos(table)
         key = values[key_pos]
@@ -112,12 +128,14 @@ class SqlConformanceWrapper(Upcalls):
         gen = self.rows.bind(row_key, index)
         return (index, gen)
 
+    @op(read_only=True)
     def _op_select(self, table: str, key) -> tuple:
         row = self.engine.select(table, key)
         if row is None:
             raise SqlEngineError("02000", "no data")
         return (tuple(row),)
 
+    @op()
     def _op_update(self, table: str, key, values: tuple) -> tuple:
         row_key = (table, key)
         index = self.rows.index_of(row_key)
@@ -127,6 +145,7 @@ class SqlConformanceWrapper(Upcalls):
         changed = self.engine.update(table, key, tuple(values))
         return (changed,)
 
+    @op()
     def _op_delete(self, table: str, key) -> tuple:
         row_key = (table, key)
         index = self.rows.index_of(row_key)
@@ -137,6 +156,7 @@ class SqlConformanceWrapper(Upcalls):
         self.rows.release(row_key)
         return ()
 
+    @op(read_only=True)
     def _op_scan(self, table: str) -> tuple:
         rows = self.engine.scan(table)
         key_pos = self._key_pos(table)
@@ -146,6 +166,7 @@ class SqlConformanceWrapper(Upcalls):
         return (tuple(tuple(r) for r in
                       sorted(rows, key=lambda r: canonical(r[key_pos]))),)
 
+    @op(read_only=True)
     def _op_row_count(self, table: str) -> tuple:
         return (self.engine.row_count(table),)
 
@@ -163,10 +184,6 @@ class SqlConformanceWrapper(Upcalls):
                 return columns.index(key)
         raise SqlEngineError("42S02", table)
 
-    def _modify(self, index: int) -> None:
-        if self.library is not None:
-            self.library.modify(index)
-
     # -- abstraction function & inverse ----------------------------------------------
 
     def get_obj(self, index: int) -> bytes:
@@ -180,8 +197,19 @@ class SqlConformanceWrapper(Upcalls):
         if row_key is None:
             return canonical(("free", gen))
         table, key = row_key
-        row = self.engine.select(table, key)
+        try:
+            row = self.engine.select(table, key)
+        except SqlEngineError:
+            if self._clean_restarted:
+                return b""  # the fresh engine has no such table yet
+            raise
         if row is None:
+            if self._clean_restarted:
+                # After a clean-recovery restart the row does not exist
+                # in the fresh engine yet.  Return a marker that can
+                # never match a real row's digest, so the check fetches
+                # it.
+                return b""
             raise StateTransferError(
                 f"{self.engine.vendor}: mapped row {row_key!r} missing")
         return canonical(("row", gen, table, canonical(key), tuple(row)))
@@ -243,12 +271,13 @@ class SqlConformanceWrapper(Upcalls):
 
     # -- recovery ---------------------------------------------------------------------
 
-    def shutdown(self) -> float:
-        self._saved = self.rows.save()
-        return 1e-8 * len(self._saved)
+    def save_rep(self) -> bytes:
+        return self.rows.save()
 
-    def restart(self) -> float:
-        if self._saved is None:
-            return 0.0
-        self.rows = KeyedArrayMapping.load(self._saved)
-        return 1e-8 * len(self._saved)
+    def load_rep(self, saved: bytes) -> None:
+        self.rows = KeyedArrayMapping.load(saved)
+        if self.clean_recovery_factory is not None:
+            # Start over on an empty engine; every row's value comes
+            # back through put_objs during fetch-and-check.
+            self.engine = self.clean_recovery_factory()
+            self._clean_restarted = True

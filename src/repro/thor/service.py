@@ -1,18 +1,30 @@
-"""Builders and transports for BASE-Thor and the unreplicated baseline."""
+"""Registration, transports, and builders for BASE-Thor and the baseline.
+
+Declared once as a :class:`ServiceDefinition`; both deployments come
+from the shared code paths in :mod:`repro.service.deploy`.
+``build_base_thor``/``build_thor_std`` are kept as thin typed shims.
+"""
 
 from __future__ import annotations
 
 from typing import Callable, List, Optional, Tuple
 
-from repro.base.library import BaseServiceConfig, build_base_cluster
-from repro.bft.client import SyncClient
+from repro.base.library import BaseServiceConfig
 from repro.bft.config import BftConfig
-from repro.bft.costs import CostModel, ZERO_COSTS
+from repro.bft.costs import CostModel
 from repro.encoding.canonical import canonical, decanonical
 from repro.harness.cluster import Cluster
-from repro.sim.network import Network, NetworkConfig
-from repro.sim.node import Node
-from repro.sim.scheduler import Scheduler
+from repro.service.deploy import (
+    Channel,
+    DirectService,
+    DirectServiceServer,
+    ServiceDefinition,
+    WrapperContext,
+    build_replicated,
+    build_unreplicated,
+)
+from repro.service.registry import register
+from repro.sim.network import NetworkConfig
 from repro.thor.client import ThorTransport
 from repro.thor.server import ThorServer, ThorServerConfig
 from repro.thor.wrapper import ThorConformanceWrapper
@@ -23,15 +35,15 @@ class ThorCallError(Exception):
 
 
 class BaseThorTransport(ThorTransport):
-    """Client side of BASE-Thor: operations ride the BASE invoke path
-    (the paper replaced Thor's communication library with one that calls
-    the BASE library, avoiding interposed proxies)."""
+    """Client side of either deployment: operations ride a service
+    channel (the paper replaced Thor's communication library with one
+    that calls the BASE library, avoiding interposed proxies)."""
 
-    def __init__(self, sync_client: SyncClient):
-        self.sync_client = sync_client
+    def __init__(self, channel: Channel):
+        self.channel = channel
 
     def call(self, op: tuple) -> tuple:
-        raw = self.sync_client.call(canonical(op))
+        raw = self.channel.call(canonical(op))
         result = decanonical(raw)
         if result[0] != 0:
             raise ThorCallError(result[1] if len(result) > 1 else "error")
@@ -39,80 +51,101 @@ class BaseThorTransport(ThorTransport):
 
     @property
     def now(self) -> float:
-        return self.sync_client.now
+        return self.channel.now
 
 
-class _DirectThorServer(Node):
-    """Unreplicated Thor server node (the paper's baseline, which does
-    not even ensure stability of committed data — it keeps the MOB in
-    memory; the paper calls its own comparison conservative for exactly
-    that reason)."""
+#: The unreplicated baseline drives the same transport over a direct
+#: channel; the name survives for callers that distinguish the two.
+DirectThorTransport = BaseThorTransport
 
-    def __init__(self, node_id, network, server: ThorServer,
-                 op_cost: float = 0.0):
-        super().__init__(node_id, network)
-        self.server = server
-        self.op_cost = op_cost
 
-    def on_message(self, src, msg):
-        nonce, op = msg
+# -- service registration ----------------------------------------------------------
+
+
+def _replica_config(base: ThorServerConfig, index: int) -> ThorServerConfig:
+    """Each replica gets a distinct seed, so caches/MOBs/flushes diverge
+    concretely while the abstract state stays identical."""
+    return ThorServerConfig(
+        cache_pages=base.cache_pages,
+        mob_bytes=base.mob_bytes,
+        vq_capacity=base.vq_capacity,
+        seed=base.seed + 101 * (index + 1),
+        disk_seek_cost=base.disk_seek_cost,
+        disk_byte_cost=base.disk_byte_cost)
+
+
+def _make_wrapper(ctx: WrapperContext) -> ThorConformanceWrapper:
+    base_config = ctx.options.get("server_config") or ThorServerConfig()
+    server = ThorServer(_replica_config(base_config, ctx.index))
+    ctx.options["db_loader"](server)
+    return ThorConformanceWrapper(
+        server, num_pages=ctx.options["num_pages"],
+        max_clients=ctx.options.get("max_clients", 16),
+        clock=ctx.clock, op_cost=ctx.options.get("op_cost", 0.0),
+        commit_byte_cost=ctx.options.get("commit_byte_cost", 0.0))
+
+
+def _wire_replica(replica, wrapper: ThorConformanceWrapper) -> None:
+    # Disk costs charge CPU time through the replica.
+    wrapper.server.disk.charge = replica.charge
+    wrapper.server.charge = replica.charge
+
+
+def _make_direct(ctx: WrapperContext) -> DirectService:
+    """The paper's baseline, which does not even ensure stability of
+    committed data — it keeps the MOB in memory; the paper calls its own
+    comparison conservative for exactly that reason."""
+    server = ThorServer(ctx.options.get("server_config")
+                        or ThorServerConfig())
+    ctx.options["db_loader"](server)
+    op_cost = ctx.options.get("op_cost", 0.0)
+
+    def handler(node: DirectServiceServer, src: str,
+                op: bytes) -> Tuple[bytes, int]:
         kind, *args = decanonical(op)
-        self.charge(self.op_cost)
+        node.charge(op_cost)
         try:
             if kind == "start_session":
-                self.server.start_session(args[0])
+                server.start_session(args[0])
                 result = (0, 0)
             elif kind == "end_session":
-                self.server.end_session(args[0])
+                server.end_session(args[0])
                 result = (0,)
             elif kind == "fetch":
-                fetched = self.server.fetch(args[0], args[1],
-                                            tuple(args[2]), tuple(args[3]))
+                fetched = server.fetch(args[0], args[1],
+                                       tuple(args[2]), tuple(args[3]))
                 result = (0, fetched.page_blob, fetched.invalidations)
             elif kind == "commit":
                 client, ts, reads, writes, discards, acks = args
-                outcome = self.server.commit(client, ts, frozenset(reads),
-                                             dict(writes), tuple(discards),
-                                             tuple(acks))
+                outcome = server.commit(client, ts, frozenset(reads),
+                                        dict(writes), tuple(discards),
+                                        tuple(acks))
                 result = (0, outcome.committed, outcome.invalidations)
             else:
                 result = (1, f"unknown op {kind}")
         except Exception as exc:
             result = (1, type(exc).__name__)
         blob = canonical(result)
-        self.send(src, (nonce, blob), size=64 + len(blob))
+        return blob, 64 + len(blob)
+
+    def wire(node: DirectServiceServer) -> None:
+        server.disk.charge = node.charge
+        server.charge = node.charge
+
+    return DirectService(backend=server, handler=handler, wire=wire)
 
 
-class DirectThorTransport(ThorTransport):
-    def __init__(self, scheduler: Scheduler, network: Network,
-                 server_id: str, client_node_id: str):
-        self.scheduler = scheduler
-        self._box = {}
-        self._nonce = 0
-        self.server_id = server_id
-        self._node = Node(client_node_id, network)
-        self._node.on_message = self._on_message  # type: ignore
+THOR_SERVICE = register(ServiceDefinition(
+    name="thor",
+    make_wrapper=_make_wrapper,
+    make_client=BaseThorTransport,
+    make_direct=_make_direct,
+    branching=64,
+    wire_replica=_wire_replica,
+))
 
-    def _on_message(self, src, msg):
-        nonce, raw = msg
-        self._box[nonce] = raw
 
-    def call(self, op: tuple) -> tuple:
-        self._nonce += 1
-        nonce = self._nonce
-        blob = canonical(op)
-        self._node.send(self.server_id, (nonce, blob), size=64 + len(blob))
-        ok = self.scheduler.run_until_idle_or(lambda: nonce in self._box)
-        if not ok:
-            raise TimeoutError("thor server never answered")
-        result = decanonical(self._box.pop(nonce))
-        if result[0] != 0:
-            raise ThorCallError(result[1] if len(result) > 1 else "error")
-        return result[1:]
-
-    @property
-    def now(self) -> float:
-        return self.scheduler.now
+# -- legacy builder shims ------------------------------------------------------------
 
 
 def build_base_thor(num_pages: int,
@@ -130,49 +163,19 @@ def build_base_thor(num_pages: int,
                     commit_byte_cost: float = 0.0,
                     client_id: str = "thor-client",
                     seed: int = 0) -> Tuple[Cluster, BaseThorTransport]:
-    """Four replicas of the *same* nondeterministic Thor server (each gets
-    a distinct seed, so caches/MOBs/flushes diverge concretely)."""
-    config = config or BftConfig(n=4)
-    base_server_config = server_config or ThorServerConfig()
-    clock_box = {}
-
-    def sim_clock() -> float:
-        cluster = clock_box.get("cluster")
-        return cluster.scheduler.now if cluster is not None else 0.0
-
-    def make_factory(i: int):
-        def factory() -> ThorConformanceWrapper:
-            cfg = ThorServerConfig(
-                cache_pages=base_server_config.cache_pages,
-                mob_bytes=base_server_config.mob_bytes,
-                vq_capacity=base_server_config.vq_capacity,
-                seed=base_server_config.seed + 101 * (i + 1),
-                disk_seek_cost=base_server_config.disk_seek_cost,
-                disk_byte_cost=base_server_config.disk_byte_cost)
-            server = ThorServer(cfg)
-            db_loader(server)
-            return ThorConformanceWrapper(
-                server, num_pages=num_pages, max_clients=max_clients,
-                clock=sim_clock, op_cost=op_cost,
-                commit_byte_cost=commit_byte_cost)
-        return factory
-
-    cluster = build_base_cluster(
-        [make_factory(i) for i in range(config.n)], config=config,
+    """Four replicas of the *same* nondeterministic Thor server."""
+    return build_replicated(
+        THOR_SERVICE, config=config or BftConfig(n=4),
         base_config=BaseServiceConfig(
             branching=branching,
             per_object_check_cost=per_object_check_cost,
             checkpoint_cost=checkpoint_cost,
             cow_cost=cow_cost),
         network_config=network_config, replica_costs=replica_costs,
-        seed=seed)
-    clock_box["cluster"] = cluster
-    # Disk costs charge CPU time through the replica.
-    for replica in cluster.replicas:
-        replica.state.upcalls.server.disk.charge = replica.charge
-        replica.state.upcalls.server.charge = replica.charge
-    sync = cluster.add_client(client_id)
-    return cluster, BaseThorTransport(sync)
+        client_id=client_id, seed=seed,
+        num_pages=num_pages, db_loader=db_loader,
+        server_config=server_config, max_clients=max_clients,
+        op_cost=op_cost, commit_byte_cost=commit_byte_cost)
 
 
 def build_thor_std(db_loader: Callable[[ThorServer], None],
@@ -180,13 +183,8 @@ def build_thor_std(db_loader: Callable[[ThorServer], None],
                    network_config: Optional[NetworkConfig] = None,
                    op_cost: float = 0.0,
                    seed: int = 0) -> Tuple[ThorServer, DirectThorTransport]:
-    scheduler = Scheduler()
-    network = Network(scheduler, network_config or NetworkConfig(seed=seed))
-    server = ThorServer(server_config or ThorServerConfig())
-    db_loader(server)
-    node = _DirectThorServer("thor-server", network, server, op_cost)
-    server.disk.charge = node.charge
-    server.charge = node.charge
-    transport = DirectThorTransport(scheduler, network, "thor-server",
-                                    "thor-client-node")
-    return server, transport
+    return build_unreplicated(THOR_SERVICE,
+                              network_config=network_config, seed=seed,
+                              db_loader=db_loader,
+                              server_config=server_config,
+                              op_cost=op_cost)

@@ -19,22 +19,25 @@ timestamps, and ``client_array`` maps abstract client numbers to the
 per-client structures maintained by Thor.  State conversions use the
 server's *internal* APIs (as the paper did — the external interface is
 too narrow), treating them as black boxes.
+
+Dispatch, error enveloping, and shutdown/restart persistence ride the
+service kernel (:mod:`repro.service.kernel`).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.base.nondet import TimestampAgreement
-from repro.base.upcalls import Upcalls
 from repro.encoding.canonical import canonical, decanonical
 from repro.errors import StateTransferError
+from repro.service.kernel import AbstractService, OpSpec, op
 from repro.thor.pages import Page
 from repro.thor.server import ThorServer
 from repro.thor.vq import VqEntry
 
 
-class ThorConformanceWrapper(Upcalls):
+class ThorConformanceWrapper(AbstractService):
     def __init__(self, server: ThorServer, num_pages: int,
                  max_clients: int = 16,
                  clock: Callable[[], float] = lambda: 0.0,
@@ -44,6 +47,7 @@ class ThorConformanceWrapper(Upcalls):
         super().__init__()
         self.server = server
         self.op_cost = op_cost
+        self.per_op_cost = op_cost  # kernel charges this per request
         # Per-KB cost of processing committed object values (validation,
         # MOB insertion, checkpoint maintenance) — the paper's T2b commits
         # are dominated by this.
@@ -57,7 +61,6 @@ class ThorConformanceWrapper(Upcalls):
         self.vq_array: List[int] = [0] * self.vq_capacity
         self.client_array: List[Optional[str]] = [None] * max_clients
         self._client_numbers: Dict[str, int] = {}
-        self._saved_rep: Optional[bytes] = None
 
     # -- area index arithmetic -------------------------------------------------------
 
@@ -86,31 +89,36 @@ class ThorConformanceWrapper(Upcalls):
     def check_value(self, requests, seq: int, nondet: bytes) -> bool:
         return self.timestamps.check(nondet)
 
-    def _modify(self, index: int) -> None:
-        if self.library is not None:
-            self.library.modify(index)
+    # -- kernel hooks: envelopes ------------------------------------------------
 
-    # -- execute -------------------------------------------------------------------------
+    def ok_reply(self, payload: tuple) -> tuple:
+        return (0,) + payload
 
-    def execute(self, op: bytes, client_id: str, nondet: bytes,
-                read_only: bool = False) -> bytes:
-        decoded = decanonical(op)
-        kind, args = decoded[0], decoded[1:]
-        if self.library is not None:
-            self.library.charge(self.op_cost)
-        if read_only:
-            return canonical((1, "thor ops are not read-only"))
-        agreed_us = 0
+    def unknown_op_reply(self, kind: Any) -> tuple:
+        return (1, f"unknown op {kind}")
+
+    def read_only_reply(self, kind: Any) -> tuple:
+        # Every Thor op mutates server state (even fetch updates the
+        # cached-pages directory), so nothing rides the read-only path.
+        return (1, "thor ops are not read-only")
+
+    def malformed_reply(self, kind: Any, exc: Optional[Exception]) -> tuple:
+        return (1, type(exc).__name__ if exc is not None else "malformed")
+
+    def service_error_reply(self, exc: Exception) -> Optional[tuple]:
+        # All handler failures become deterministic error replies: the
+        # server's own exceptions are deterministic functions of the
+        # agreed request sequence.
+        return (1, type(exc).__name__)
+
+    def agreed_time(self, spec: OpSpec, nondet: bytes) -> int:
         if nondet:
-            agreed_us = int(self.timestamps.accept(nondet) * 1_000_000)
-        handler = getattr(self, f"_op_{kind}", None)
-        if handler is None:
-            return canonical((1, f"unknown op {kind}"))
-        try:
-            return canonical((0,) + handler(agreed_us, *args))
-        except Exception as exc:  # deterministic error reply
-            return canonical((1, type(exc).__name__))
+            return int(self.timestamps.accept(nondet) * 1_000_000)
+        return 0
 
+    # -- operations --------------------------------------------------------------
+
+    @op("start_session")
     def _op_start_session(self, agreed_us: int, client_id: str) -> tuple:
         existing = self._client_numbers.get(client_id)
         if existing is not None:
@@ -126,6 +134,7 @@ class ThorConformanceWrapper(Upcalls):
         self.server.start_session(client_id)
         return (number,)
 
+    @op("end_session")
     def _op_end_session(self, agreed_us: int, client_id: str) -> tuple:
         number = self._client_numbers.pop(client_id, None)
         if number is None:
@@ -138,6 +147,7 @@ class ThorConformanceWrapper(Upcalls):
         self.server.end_session(client_id)
         return ()
 
+    @op("fetch")
     def _op_fetch(self, agreed_us: int, client_id: str, pagenum: int,
                   discards: tuple, acks: tuple) -> tuple:
         if not 0 <= pagenum < self.num_pages:
@@ -155,6 +165,7 @@ class ThorConformanceWrapper(Upcalls):
                                    tuple(acks))
         return (result.page_blob, result.invalidations)
 
+    @op("commit")
     def _op_commit(self, agreed_us: int, client_id: str, timestamp: int,
                    reads: tuple, writes: tuple, discards: tuple,
                    acks: tuple) -> tuple:
@@ -308,19 +319,15 @@ class ThorConformanceWrapper(Upcalls):
 
     # -- proactive recovery ---------------------------------------------------------------------------
 
-    def shutdown(self) -> float:
-        self._saved_rep = canonical((tuple(self.vq_array),
-                                     tuple(self.client_array)))
-        return 1e-8 * len(self._saved_rep)
+    def save_rep(self) -> tuple:
+        return (tuple(self.vq_array), tuple(self.client_array))
 
-    def restart(self) -> float:
+    def load_rep(self, saved: tuple) -> None:
         """The server process restarts: page cache, MOB, VQ, invalid sets
         and directory are volatile and lost (only the disk survives).
         The conformance arrays reload from the shutdown file; the lost
         server state is repaired by the ensuing state transfer, whose
         digest checks flag every abstract object that depended on it."""
-        if self._saved_rep is None:
-            return 0.0
         from repro.thor.cache import PageCache
         from repro.thor.mob import ModifiedObjectBuffer
         from repro.thor.vq import ValidationQueue
@@ -333,11 +340,10 @@ class ThorConformanceWrapper(Upcalls):
         server.vq = ValidationQueue(server.config.vq_capacity)
         server.invalid_sets = InvalidSets()
         server.directory = CachedPagesDirectory()
-        vq_array, client_array = decanonical(self._saved_rep)
+        _vq_array, client_array = saved
         self.vq_array = [0] * self.vq_capacity
         self.client_array = list(client_array)
         self._client_numbers = {c: i for i, c in enumerate(client_array)
                                 if c is not None}
         for client_id in self._client_numbers:
             self.server.invalid_sets.start_client(client_id)
-        return 1e-8 * len(self._saved_rep)

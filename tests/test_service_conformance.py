@@ -1,0 +1,84 @@
+"""The cross-service conformance battery (see
+:mod:`repro.service.conformance`), parametrized over every service in
+the registry — the same five checks run against NFS, SQL, HTTP, and
+Thor, each over a heterogeneous wrapper pair.
+"""
+
+import pytest
+
+from repro.service.conformance import (
+    BATTERY,
+    check_abstract_determinism,
+    check_malformed_ops,
+    check_read_only_rejection,
+    check_restart_survival,
+    check_round_trip,
+    get_probe,
+    probe_names,
+)
+from repro.service.registry import load_all, service_names
+
+
+def test_every_registered_service_has_a_probe():
+    load_all()
+    assert set(probe_names()) == set(service_names())
+
+
+@pytest.mark.parametrize("name", probe_names())
+def test_round_trip(name):
+    check_round_trip(get_probe(name))
+
+
+@pytest.mark.parametrize("name", probe_names())
+def test_abstract_determinism(name):
+    check_abstract_determinism(get_probe(name))
+
+
+@pytest.mark.parametrize("name", probe_names())
+def test_read_only_rejection(name):
+    check_read_only_rejection(get_probe(name))
+
+
+@pytest.mark.parametrize("name", probe_names())
+def test_malformed_ops(name):
+    check_malformed_ops(get_probe(name))
+
+
+@pytest.mark.parametrize("name", probe_names())
+def test_restart_survival(name):
+    check_restart_survival(get_probe(name))
+
+
+def test_battery_covers_all_five_checks():
+    assert {check.__name__ for check in BATTERY} == {
+        "check_round_trip", "check_abstract_determinism",
+        "check_read_only_rejection", "check_malformed_ops",
+        "check_restart_survival"}
+
+
+# -- regression: wire-legal procedures outside the abstract spec ------------------
+#
+# RFC 1094's NULL, ROOT, and WRITECACHE are legal on the wire but have no
+# handler in the conformance wrapper.  The old dispatch reached them via
+# getattr(self, f"_op_{kind}") with no default, so a Byzantine client
+# could crash a replica with an AttributeError; the kernel's op table
+# answers them with the deterministic "bad procedure" envelope instead.
+
+
+def test_nfs_unknown_wire_procedures_get_deterministic_reply():
+    from repro.nfs.protocol import NfsProc, NfsStatus
+    driver = get_probe("nfs").driver(0)
+    for proc in (NfsProc.NULL, NfsProc.ROOT, NfsProc.WRITECACHE):
+        reply = driver.op(proc.value)
+        assert reply == (int(NfsStatus.NFSERR_IO), "bad procedure"), proc
+
+
+def test_nfs_std_baseline_rejects_unknown_wire_procedures():
+    from repro.nfs.protocol import NfsError, NfsProc, NfsStatus
+    from repro.nfs.service import build_nfs_std
+    _, transport = build_nfs_std()
+    transport.root_fh()  # server is up and answering
+    for proc in (NfsProc.NULL, NfsProc.ROOT, NfsProc.WRITECACHE):
+        with pytest.raises(NfsError) as excinfo:
+            transport.call(proc)
+        assert excinfo.value.status == NfsStatus.NFSERR_IO
