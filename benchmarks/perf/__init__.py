@@ -1,0 +1,22 @@
+"""Wall-clock performance harness (separate from the simulated-time tables).
+
+The tables under ``benchmarks/`` reproduce the *paper's* numbers in
+simulated seconds; this package measures how fast the simulator itself
+runs on real hardware.  It drives fixed protocol scenarios — normal-case
+f=1 batching, state transfer of a dirty tree, a proactive recovery
+round — under ``time.perf_counter`` and emits ``BENCH_<n>.json`` so that
+every perf PR has a before/after baseline.
+
+Run it from the repository root::
+
+    PYTHONPATH=src python -m benchmarks.perf --quick --out BENCH_3.json
+
+See ``docs/PERFORMANCE.md`` for how to read the output.
+"""
+
+from benchmarks.perf.harness import (  # noqa: F401
+    BENCH_ID,
+    SCENARIOS,
+    run_all,
+    validate_report,
+)

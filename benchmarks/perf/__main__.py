@@ -1,0 +1,41 @@
+"""CLI: run the wall-clock perf scenarios and emit a BENCH JSON report.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python -m benchmarks.perf [--quick] [--repeats N]
+                                             [--out BENCH_3.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from benchmarks.perf.harness import BENCH_ID, run_all, write_report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="benchmarks.perf")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller scenario scales and fewer repeats "
+                             "(CI smoke mode)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="override per-scenario repeat count")
+    parser.add_argument("--out", default=f"BENCH_{BENCH_ID}.json",
+                        help="output path (default: %(default)s)")
+    args = parser.parse_args(argv)
+
+    report = run_all(quick=args.quick, repeats=args.repeats,
+                     progress=lambda line: print(line, file=sys.stderr))
+    write_report(report, args.out)
+    print(f"wrote {args.out}", file=sys.stderr)
+    for name, data in report["scenarios"].items():
+        print(f"{name:16s} {data['requests_per_sec']:10.1f} req/s "
+              f"{data['events_per_sec']:12.0f} events/s "
+              f"p50 {data['wall_seconds_p50'] * 1e3:8.1f} ms "
+              f"p95 {data['wall_seconds_p95'] * 1e3:8.1f} ms")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

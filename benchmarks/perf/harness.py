@@ -1,0 +1,250 @@
+"""Fixed protocol scenarios timed against the real (wall) clock.
+
+Each scenario builds a fresh cluster with fixed seeds, drives a fixed
+amount of protocol work, and reports how long that took in *real*
+seconds.  Scenarios repeat several times; the report carries p50/p95 of
+the per-repeat wall time plus aggregate events/sec and requests/sec.
+
+The scenarios cover the three hot paths the simulator spends its life in:
+
+- ``normal_case`` — f=1 three-phase ordering with client-driven batching
+  (MAC/digest work on every message hop);
+- ``state_transfer`` — hierarchical fetch of a dirty partition tree
+  (digest checks and per-object messages);
+- ``recovery`` — one proactive recovery round: shutdown, reboot, fetch
+  and check (session-key refresh plus a full state audit).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.bft.config import BftConfig
+from repro.bft.statemachine import InMemoryStateManager
+from repro.harness import costs as C
+from repro.harness.cluster import Cluster, build_cluster
+
+BENCH_ID = 3
+SCHEMA_VERSION = 1
+
+put = InMemoryStateManager.op_put
+
+
+def _build(seed: int, **cfg_kwargs) -> Cluster:
+    config = BftConfig(**cfg_kwargs)
+    return build_cluster(lambda i: InMemoryStateManager(size=64),
+                         config=config,
+                         network_config=C.lan_network(seed),
+                         costs=C.PROTOCOL_COSTS, seed=seed)
+
+
+def _events_run(cluster: Cluster) -> int:
+    # ``events_run`` is the scheduler's cumulative executed-event counter;
+    # fall back to the number of events ever scheduled on older trees.
+    sched = cluster.scheduler
+    return getattr(sched, "events_run", sched._seq)
+
+
+# -- scenarios ----------------------------------------------------------------
+#
+# Each scenario fn takes (seed, scale) and returns (cluster, requests):
+# the cluster it drove and how many protocol-level requests that involved.
+
+def scenario_normal_case(seed: int, scale: int):
+    """Closed-loop ordered writes from concurrent clients (batching)."""
+    cluster = _build(seed, checkpoint_interval=16, batch_max=8)
+    n_clients = 4
+    per_client = scale
+    done: Dict[str, int] = {}
+    clients = []
+    for c in range(n_clients):
+        sync = cluster.add_client(f"client{c}", costs=C.PROTOCOL_COSTS)
+        clients.append(sync.client)
+
+    def make_cb(client, idx):
+        def cb(_result):
+            done[client.node_id] = done.get(client.node_id, 0) + 1
+            if done[client.node_id] < per_client:
+                client.invoke(put((idx + done[client.node_id]) % 16,
+                                  b"w%d" % done[client.node_id]), cb)
+        return cb
+
+    for idx, client in enumerate(clients):
+        client.invoke(put(idx % 16, b"w0"), make_cb(client, idx))
+    ok = cluster.run_until(
+        lambda: all(done.get(c.node_id, 0) >= per_client for c in clients))
+    if not ok:
+        raise RuntimeError("normal_case scenario did not complete")
+    return cluster, n_clients * per_client
+
+
+def scenario_state_transfer(seed: int, scale: int):
+    """A partitioned replica misses writes across the whole tree, then
+    catches up by hierarchical state transfer."""
+    cluster = _build(seed, checkpoint_interval=4)
+    client = cluster.add_client("client0", costs=C.PROTOCOL_COSTS)
+    lagger = cluster.replicas[3]
+    requests = 0
+    for other in cluster.config.replica_ids:
+        if other != lagger.node_id:
+            cluster.network.partition(lagger.node_id, other)
+    # Dirty a wide slice of the tree while the lagger is cut off.
+    for i in range(scale):
+        client.call(put(i % 48, b"dirty%d" % i))
+        requests += 1
+    cluster.network.heal_all()
+    for i in range(4):
+        client.call(put(i % 48, b"heal%d" % i))
+        requests += 1
+    ok = cluster.run_until(lambda: lagger.last_executed
+                           >= cluster.replicas[0].last_stable
+                           and not lagger.transfer.active)
+    if not ok:
+        raise RuntimeError("state_transfer scenario did not complete")
+    return cluster, requests
+
+
+def scenario_recovery(seed: int, scale: int):
+    """One proactive recovery round: shutdown, reboot, fetch-and-check."""
+    cluster = _build(seed, checkpoint_interval=4, reboot_delay=0.5)
+    client = cluster.add_client("client0", costs=C.PROTOCOL_COSTS)
+    requests = 0
+    for i in range(scale):
+        client.call(put(i % 32, b"pre%d" % i))
+        requests += 1
+    victim = cluster.replicas[2]
+    victim.recovery.start_recovery()
+    ok = cluster.run_until(lambda: not victim.recovery.recovering
+                           and victim.recovery.records)
+    if not ok:
+        raise RuntimeError("recovery scenario did not complete")
+    return cluster, requests
+
+
+#: name -> (scenario fn, full-mode scale, quick-mode scale)
+SCENARIOS: Dict[str, tuple] = {
+    "normal_case": (scenario_normal_case, 150, 25),
+    "state_transfer": (scenario_state_transfer, 40, 12),
+    "recovery": (scenario_recovery, 24, 8),
+}
+
+
+# -- runner -------------------------------------------------------------------
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted non-empty list."""
+    idx = min(len(sorted_values) - 1,
+              max(0, round(q * (len(sorted_values) - 1))))
+    return sorted_values[idx]
+
+
+def run_scenario(name: str, quick: bool, repeats: int) -> Dict[str, object]:
+    fn, full_scale, quick_scale = SCENARIOS[name]
+    scale = quick_scale if quick else full_scale
+    walls: List[float] = []
+    events_total = 0
+    requests_total = 0
+    for rep in range(repeats):
+        start = time.perf_counter()
+        cluster, requests = fn(seed=rep, scale=scale)
+        walls.append(time.perf_counter() - start)
+        events_total += _events_run(cluster)
+        requests_total += requests
+    walls_sorted = sorted(walls)
+    total = sum(walls)
+    return {
+        "repeats": repeats,
+        "scale": scale,
+        "wall_seconds_total": total,
+        "wall_seconds_p50": _percentile(walls_sorted, 0.50),
+        "wall_seconds_p95": _percentile(walls_sorted, 0.95),
+        "events": events_total,
+        "events_per_sec": events_total / total,
+        "requests": requests_total,
+        "requests_per_sec": requests_total / total,
+    }
+
+
+def run_all(quick: bool = False, repeats: Optional[int] = None,
+            progress: Optional[Callable[[str], None]] = None) -> Dict[str, object]:
+    if repeats is None:
+        repeats = 3 if quick else 7
+    scenarios: Dict[str, object] = {}
+    for name in SCENARIOS:
+        if progress:
+            progress(f"running {name} (repeats={repeats}, "
+                     f"{'quick' if quick else 'full'}) ...")
+        scenarios[name] = run_scenario(name, quick, repeats)
+    return {
+        "bench_id": BENCH_ID,
+        "schema_version": SCHEMA_VERSION,
+        "mode": "quick" if quick else "full",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "scenarios": scenarios,
+    }
+
+
+# -- schema -------------------------------------------------------------------
+
+_TOP_FIELDS = {
+    "bench_id": int,
+    "schema_version": int,
+    "mode": str,
+    "python": str,
+    "platform": str,
+    "scenarios": dict,
+}
+
+_SCENARIO_FIELDS = {
+    "repeats": int,
+    "scale": int,
+    "wall_seconds_total": float,
+    "wall_seconds_p50": float,
+    "wall_seconds_p95": float,
+    "events": int,
+    "events_per_sec": float,
+    "requests": int,
+    "requests_per_sec": float,
+}
+
+
+def validate_report(report: Dict[str, object]) -> None:
+    """Raise ``ValueError`` unless ``report`` is a valid BENCH document."""
+    for key, typ in _TOP_FIELDS.items():
+        if key not in report:
+            raise ValueError(f"missing top-level field {key!r}")
+        if not isinstance(report[key], typ):
+            raise ValueError(f"field {key!r} must be {typ.__name__}, "
+                             f"got {type(report[key]).__name__}")
+    if report["mode"] not in ("quick", "full"):
+        raise ValueError(f"mode must be quick|full, got {report['mode']!r}")
+    missing = set(SCENARIOS) - set(report["scenarios"])
+    if missing:
+        raise ValueError(f"missing scenarios: {sorted(missing)}")
+    for name, data in report["scenarios"].items():
+        for key, typ in _SCENARIO_FIELDS.items():
+            if key not in data:
+                raise ValueError(f"scenario {name!r} missing field {key!r}")
+            value = data[key]
+            if typ is float:
+                if not isinstance(value, (int, float)):
+                    raise ValueError(f"{name}.{key} must be numeric")
+                if value < 0:
+                    raise ValueError(f"{name}.{key} must be >= 0")
+            elif not isinstance(value, typ):
+                raise ValueError(f"{name}.{key} must be {typ.__name__}")
+        if data["wall_seconds_p95"] < data["wall_seconds_p50"]:
+            raise ValueError(f"{name}: p95 below p50")
+        if data["repeats"] < 1 or data["requests"] < 1:
+            raise ValueError(f"{name}: repeats/requests must be positive")
+
+
+def write_report(report: Dict[str, object], path: str) -> None:
+    validate_report(report)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")

@@ -20,7 +20,7 @@ from repro.bft.config import BftConfig
 from repro.bft.costs import CostModel, ZERO_COSTS
 from repro.bft.messages import Reply, Request
 from repro.crypto.keys import KeyRegistry
-from repro.crypto.mac import Authenticator, verify_mac
+from repro.crypto.mac import Authenticator
 from repro.sim.network import Network
 from repro.sim.node import Node
 from repro.sim.tracing import Tracer
@@ -91,10 +91,12 @@ class BftClient(Node):
     def _transmit(self, first: bool) -> None:
         call = self._pending
         request = call.request
+        # MAC-over-digest: hash the request once, MAC the digest per replica.
         request.auth = Authenticator.create(
             self.registry, self.node_id, self.config.replica_ids,
-            request.body())
-        self.charge(self.costs.macs(len(self.config.replica_ids)))
+            request.digest())
+        self.charge(self.costs.auth_create(len(self.config.replica_ids),
+                                           len(request.body())))
         if call.read_only or not first:
             self.multicast(self.config.replica_ids, request)
         else:
@@ -129,9 +131,9 @@ class BftClient(Node):
         if src != reply.replica_id or src not in self.config.replica_ids:
             return
         if reply.auth is not None:
-            self.charge(self.costs.macs(1))
+            self.charge(self.costs.auth_verify(len(reply.body())))
             if not reply.auth.verify(self.registry, self.node_id,
-                                     reply.body()):
+                                     reply.digest()):
                 return
         if reply.result is not None:
             from repro.crypto.digest import digest

@@ -16,7 +16,7 @@ from dataclasses import dataclass
 class CostModel:
     """Per-operation CPU charges, in simulated seconds."""
 
-    mac: float = 0.0               # generate or verify one MAC
+    mac: float = 0.0               # one MAC over digest-sized (32 B) input
     signature: float = 0.0         # generate or verify one signature
     digest_fixed: float = 0.0      # fixed cost of one digest
     digest_per_byte: float = 0.0   # plus per byte digested
@@ -26,6 +26,20 @@ class CostModel:
 
     def digest(self, nbytes: int) -> float:
         return self.digest_fixed + self.digest_per_byte * nbytes
+
+    # Authenticators MAC the 32-byte message digest, never the body: the
+    # sender hashes the body once and pays one constant-size MAC per
+    # receiver, so the charge is independent of batch/body size.
+
+    def auth_create(self, n: int, body_bytes: int) -> float:
+        """Create an authenticator for ``n`` receivers: digest the body
+        once, then ``n`` MACs over the digest."""
+        return self.digest(body_bytes) + self.macs(n)
+
+    def auth_verify(self, body_bytes: int) -> float:
+        """Verify one authenticator entry: digest the received body once,
+        then check a single MAC over the digest."""
+        return self.digest(body_bytes) + self.macs(1)
 
 
 ZERO_COSTS = CostModel()

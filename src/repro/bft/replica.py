@@ -156,25 +156,30 @@ class Replica(Node):
     # -- authentication helpers ------------------------------------------------------
 
     def authenticate(self, msg: Message) -> Message:
-        """Attach a MAC authenticator for all other replicas."""
+        """Attach a MAC authenticator for all other replicas.
+
+        MACs cover the message *digest* (hashed once, cached), so the
+        cost is one body hash plus a constant-size MAC per receiver —
+        independent of how large the piggybacked batch is.
+        """
         msg.auth = Authenticator.create(self.registry, self.node_id,
-                                        self.other_replicas, msg.body())
-        self.charge(self.costs.macs(len(self.other_replicas))
-                    + self.costs.digest(len(msg.body())))
+                                        self.other_replicas, msg.digest())
+        self.charge(self.costs.auth_create(len(self.other_replicas),
+                                           len(msg.body())))
         return msg
 
     def authenticate_for(self, msg: Message, dst: str) -> Message:
         msg.auth = Authenticator.create(self.registry, self.node_id, [dst],
-                                        msg.body())
-        self.charge(self.costs.macs(1) + self.costs.digest(len(msg.body())))
+                                        msg.digest())
+        self.charge(self.costs.auth_create(1, len(msg.body())))
         return msg
 
     def verify_auth(self, src, msg: Message) -> bool:
-        self.charge(self.costs.macs(1))
+        self.charge(self.costs.auth_verify(len(msg.body())))
         auth = msg.auth
         if auth is None or auth.sender != src:
             return False
-        return auth.verify(self.registry, self.node_id, msg.body())
+        return auth.verify(self.registry, self.node_id, msg.digest())
 
     def sign_msg(self, msg: Message) -> Message:
         msg.sig = sign(self.registry, self.node_id, msg.body())
@@ -211,10 +216,10 @@ class Replica(Node):
         # Requests are authenticated by their *client*, not the transport
         # source — backups relay client requests to the primary verbatim.
         if req.auth is not None:
-            self.charge(self.costs.macs(1))
+            self.charge(self.costs.auth_verify(len(req.body())))
             if (req.auth.sender != req.client_id
                     or not req.auth.verify(self.registry, self.node_id,
-                                           req.body())):
+                                           req.digest())):
                 self.trace("bad_request_auth", client=req.client_id)
                 return
         last = self.client_table.get(req.client_id)

@@ -24,6 +24,10 @@ class KeyRegistry:
         self._private: Dict[object, bytes] = {}
         self._session: Dict[Tuple[object, object], bytes] = {}
         self._epoch: Dict[object, int] = {}
+        # Precomputed keyed HMAC states (inner/outer pads already mixed
+        # in), one per live session key: a MAC is then one state copy
+        # plus a short update instead of a fresh key schedule per message.
+        self._mac_states: Dict[Tuple[object, object], object] = {}
 
     # -- node enrollment -----------------------------------------------------
 
@@ -59,6 +63,25 @@ class KeyRegistry:
                 str(self._epoch[receiver]).encode())
         return self._session[pair]
 
+    def mac_state(self, sender: object, receiver: object):
+        """Keyed HMAC state for the pair's session key (cached).
+
+        Returns an object supporting ``copy()``/``update()``/``digest()``
+        — the raw OpenSSL HMAC when available (its ``copy()`` skips the
+        Python wrapper), else the stdlib :class:`hmac.HMAC`.  Callers
+        must ``.copy()`` before updating.  The cache lives and dies with
+        the session key: :meth:`refresh_session_keys` evicts both
+        together.
+        """
+        pair = (sender, receiver)
+        state = self._mac_states.get(pair)
+        if state is None:
+            wrapped = hmac.new(self.session_key(sender, receiver),
+                               digestmod=hashlib.sha256)
+            state = getattr(wrapped, "_hmac", None) or wrapped
+            self._mac_states[pair] = state
+        return state
+
     def refresh_session_keys(self, receiver: object) -> None:
         """Discard all session keys directed at ``receiver``.
 
@@ -69,6 +92,7 @@ class KeyRegistry:
         self._epoch[receiver] += 1
         for pair in [p for p in self._session if p[1] == receiver]:
             del self._session[pair]
+            self._mac_states.pop(pair, None)
 
     # -- internals ----------------------------------------------------------
 

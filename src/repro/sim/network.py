@@ -114,13 +114,16 @@ class Network:
         self.messages_sent += 1
         nbytes = self._size_of(msg, size)
         self.bytes_sent += nbytes
-        if self.is_partitioned(src, dst):
+        # Hot path: skip the partition/filter machinery entirely when no
+        # partitions or filters are installed (the common case).
+        if self._partitioned and self.is_partitioned(src, dst):
             self.messages_dropped += 1
             return
-        for fn in self._filters:
-            if not fn(src, dst, msg):
-                self.messages_dropped += 1
-                return
+        if self._filters:
+            for fn in self._filters:
+                if not fn(src, dst, msg):
+                    self.messages_dropped += 1
+                    return
         link = self.link(src, dst)
         if link.drop_rate and self.rng.random() < link.drop_rate:
             self.messages_dropped += 1
@@ -142,17 +145,26 @@ class Network:
         charged the serialization delay of *its own* link — a slow edge
         must not speed up, nor a fast edge slow down, the others.
         Per-destination propagation jitter, drops, and partitions apply
-        as usual."""
+        as usual.
+
+        ``bytes_sent`` counts the single serialization only when at least
+        one copy actually enters the fabric: if every destination copy is
+        partitioned, filtered, or dropped, nothing went onto the wire.
+        """
         dsts = list(dsts)
         if not dsts:
             return
         nbytes = self._size_of(msg, size)
+        check_partitions = bool(self._partitioned)
+        filters = self._filters
+        schedule = self.scheduler.schedule
+        entered = False
         for dst in dsts:
             self.messages_sent += 1
-            if self.is_partitioned(src, dst):
+            if check_partitions and self.is_partitioned(src, dst):
                 self.messages_dropped += 1
                 continue
-            if any(not fn(src, dst, msg) for fn in self._filters):
+            if filters and any(not fn(src, dst, msg) for fn in filters):
                 self.messages_dropped += 1
                 continue
             link = self.link(src, dst)
@@ -160,8 +172,10 @@ class Network:
                 self.messages_dropped += 1
                 continue
             delay = self._sample_delay(link, nbytes)
-            self.scheduler.schedule(delay, self._deliver, src, dst, msg)
-        self.bytes_sent += nbytes
+            schedule(delay, self._deliver, src, dst, msg)
+            entered = True
+        if entered:
+            self.bytes_sent += nbytes
 
     def broadcast(self, src: Any, msg: Any, size: Optional[int] = None) -> None:
         """Send to every registered node except ``src``."""

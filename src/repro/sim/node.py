@@ -27,11 +27,17 @@ class Timer:
         return self._event is not None and not self._event.cancelled
 
     def start(self, period: Optional[float] = None) -> None:
-        """Arm the timer; a running timer is left alone."""
-        if self.running:
-            return
+        """Arm the timer.
+
+        A running timer keeps its current deadline (use :meth:`restart`
+        to re-arm from now), but a new ``period`` is recorded either way
+        and takes effect the next time the timer is armed — it is never
+        silently discarded.
+        """
         if period is not None:
             self.period = period
+        if self.running:
+            return
         self._event = self.scheduler.schedule(self.period, self._fire)
 
     def stop(self) -> None:
@@ -58,6 +64,10 @@ class Node:
         network.register(node_id, self)
         self._crashed = False
         self.busy_until = 0.0
+        # kind -> bound handler (False caches a miss): message dispatch
+        # is the hottest call in the simulator, so resolve the
+        # ``handle_<kind>`` lookup once per kind instead of per message.
+        self._handlers: dict = {}
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -82,14 +92,16 @@ class Node:
         work has drained, modelling a single-threaded implementation.
         """
         if seconds > 0:
-            self.busy_until = max(self.busy_until, self.now) + seconds
+            now = self.scheduler._now
+            busy = self.busy_until
+            self.busy_until = (busy if busy > now else now) + seconds
 
     # -- messaging -----------------------------------------------------------
 
     def send(self, dst: Any, msg: Any, size: Optional[int] = None) -> None:
         if self._crashed:
             return
-        delay = self.busy_until - self.now
+        delay = self.busy_until - self.scheduler._now
         if delay > 0:
             self.scheduler.schedule(delay, self.network.send, self.node_id,
                                     dst, msg, size)
@@ -99,7 +111,7 @@ class Node:
     def multicast(self, dsts, msg: Any, size: Optional[int] = None) -> None:
         if self._crashed:
             return
-        delay = self.busy_until - self.now
+        delay = self.busy_until - self.scheduler._now
         if delay > 0:
             self.scheduler.schedule(delay, self.network.multicast,
                                     self.node_id, list(dsts), msg, size)
@@ -111,11 +123,14 @@ class Node:
         if self._crashed:
             return
         kind = getattr(msg, "kind", None)
-        handler = getattr(self, f"handle_{kind}", None) if kind else None
+        handler = self._handlers.get(kind)
         if handler is None:
-            self.on_unhandled(src, msg)
-        else:
+            handler = getattr(self, f"handle_{kind}", None) if kind else None
+            self._handlers[kind] = handler if handler is not None else False
+        if handler:
             handler(src, msg)
+        else:
+            self.on_unhandled(src, msg)
 
     def on_unhandled(self, src: Any, msg: Any) -> None:
         """Hook for messages without a dedicated handler; default drops."""
@@ -131,4 +146,4 @@ class Node:
 
     @property
     def now(self) -> float:
-        return self.scheduler.now
+        return self.scheduler._now

@@ -236,3 +236,50 @@ def test_timer_restart_and_stop():
     timer.restart(2.0)
     sched.run()
     assert fired == [1.0, 3.0]
+
+
+def test_timer_start_while_running_records_new_period():
+    sched, net = make_net()
+    fired = []
+    node = Recorder("a", net)
+    timer = node.make_timer(1.0, lambda: fired.append(sched.now))
+    timer.start()
+    # A running timer keeps its current deadline, but the new period must
+    # not be silently discarded: it takes effect on the next arm.
+    timer.start(period=5.0)
+    assert timer.period == 5.0
+    sched.run()
+    assert fired == [1.0]
+    timer.start()
+    sched.run()
+    assert fired == [1.0, 6.0]
+
+
+def test_multicast_counts_bytes_only_when_a_copy_enters_fabric():
+    sched, net = make_net(jitter=0.0)
+    a = Recorder("a", net)
+    b = Recorder("b", net)
+    c = Recorder("c", net)
+    msg = Ping(payload="x" * 100)
+    net.partition("a", "b")
+    net.partition("a", "c")
+    a.multicast(["b", "c"], msg)
+    sched.run()
+    # Every copy was partitioned: nothing went onto the wire.
+    assert net.bytes_sent == 0
+    assert net.messages_dropped == 2
+    assert b.received == [] and c.received == []
+    # Filters that drop every copy must not count bytes either.
+    drop_all = lambda src, dst, m: False
+    net.heal_all()
+    net.add_filter(drop_all)
+    a.multicast(["b", "c"], msg)
+    sched.run()
+    assert net.bytes_sent == 0
+    net.remove_filter(drop_all)
+    # One reachable destination: the single serialization counts once.
+    net.partition("a", "c")
+    a.multicast(["b", "c"], msg)
+    sched.run()
+    assert net.bytes_sent == msg.wire_size()
+    assert [p for _, p, _ in b.received] == [msg.payload]

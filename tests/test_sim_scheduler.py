@@ -115,3 +115,43 @@ def test_pending_counts_uncancelled():
     sched.schedule(2.0, lambda: None)
     e1.cancel()
     assert sched.pending() == 1
+
+
+def test_cancel_compacts_queue_and_pending_stays_exact():
+    sched = Scheduler()
+    events = [sched.schedule(i + 1.0, lambda: None) for i in range(1000)]
+    assert sched.pending() == 1000
+    for e in events[:900]:
+        e.cancel()
+    assert sched.pending() == 100
+    # Mass cancellation triggers compaction: the internal queue sheds the
+    # bulk of the cancelled entries instead of carrying them to pop time.
+    assert len(sched._queue) < 200
+    assert sched.run() == 100
+    assert sched.pending() == 0
+
+
+def test_late_and_double_cancels_do_not_skew_pending():
+    sched = Scheduler()
+    e1 = sched.schedule(1.0, lambda: None)
+    e2 = sched.schedule(2.0, lambda: None)
+    assert sched.step()       # fires e1
+    e1.cancel()               # late cancel of an already-fired event
+    e1.cancel()
+    e2.cancel()
+    e2.cancel()               # double cancel must count once
+    assert sched.pending() == 0
+    assert sched.run() == 0
+
+
+def test_events_run_counter_is_cumulative():
+    sched = Scheduler()
+    for i in range(5):
+        sched.schedule(float(i), lambda: None)
+    cancelled = sched.schedule(10.0, lambda: None)
+    cancelled.cancel()
+    sched.run()
+    assert sched.events_run == 5   # cancelled events do not count
+    sched.schedule(1.0, lambda: None)
+    sched.run()
+    assert sched.events_run == 6
