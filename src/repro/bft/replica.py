@@ -64,7 +64,7 @@ class Replica(Node):
         self.state = state
         self.tracer = tracer or Tracer(keep_events=False)
         self.costs = costs
-        self.behavior: Behavior = HONEST
+        self._behavior: Behavior = HONEST
         registry.enroll(replica_id)
 
         self.view = 0
@@ -134,6 +134,18 @@ class Replica(Node):
     @property
     def high_mark(self) -> int:
         return self.last_stable + self.config.log_window
+
+    @property
+    def behavior(self) -> Behavior:
+        return self._behavior
+
+    @behavior.setter
+    def behavior(self, value: Behavior) -> None:
+        """Attach a (possibly Byzantine) behavior, binding it to this
+        replica so behaviors that schedule work (delay, replay) can."""
+        if value is not HONEST:
+            value.bind(self)
+        self._behavior = value
 
     @property
     def normal_operation(self) -> bool:

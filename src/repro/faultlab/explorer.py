@@ -1,0 +1,459 @@
+"""The FaultLab trial runner, shrinker, and sweep.
+
+A **trial** is one fully deterministic experiment: build a cluster for a
+scenario with a seeded network, draw the scenario's fault plan from a
+seeded RNG, drive seeded client workloads while the injector applies the
+plan, then quiesce, settle, and run the invariant suite.  Everything —
+plan, network jitter, workload contents — derives from the (scenario,
+seed) pair through string-seeded ``random.Random`` instances, so
+re-running the pair reproduces the trial bit for bit; that is what makes
+``replay`` and the shrinker trustworthy.
+
+The **shrinker** takes a failing (plan, seed) and greedily drops one
+fault term at a time, re-running the trial after each drop and keeping
+any candidate that still violates an invariant, until no single removal
+keeps the failure.  The result is a locally-minimal plan: every remaining
+fault term is necessary to reproduce *some* violation under that seed.
+
+The **sweep** iterates the scenario registry across a seed range,
+shrinking and emitting a replay command for every failure; the CI smoke
+job is just ``python -m repro.faultlab sweep --quick``.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.crypto.digest import digest
+from repro.faultlab.injector import FaultInjector
+from repro.faultlab.invariants import (
+    AcceptedReply,
+    ExecutionEntry,
+    ExecutionLog,
+    RollbackEntry,
+    Violation,
+    check_all,
+)
+from repro.faultlab.plan import FaultPlan
+from repro.faultlab.scenarios import (
+    Scenario,
+    get_scenario,
+    kv_probe,
+    kv_workload,
+    scenario_names,
+)
+
+ScenarioRef = Union[str, Scenario]
+
+
+def _resolve(scenario: ScenarioRef) -> Scenario:
+    if isinstance(scenario, str):
+        return get_scenario(scenario)
+    return scenario
+
+
+@dataclass
+class TrialContext:
+    """What workload generators and builders get to see about the trial."""
+
+    scenario: Scenario
+    seed: int
+
+    def rng_for(self, label: str) -> random.Random:
+        """A dedicated RNG stream, stable across processes (string
+        seeding hashes the text, not object identity)."""
+        return random.Random(f"{self.scenario.name}:{self.seed}:{label}")
+
+
+class ClientScript:
+    """Drives one client through a workload generator, callback-chained:
+    each accepted result is fed back into the generator, which yields the
+    next :class:`~repro.faultlab.scenarios.Issue` until exhausted."""
+
+    def __init__(self, client, gen):
+        self.client = client
+        self.gen = gen
+        self.done = False
+        self.issued = 0
+        self.accepted = 0
+
+    @property
+    def client_id(self) -> str:
+        return self.client.node_id
+
+    def start(self) -> None:
+        self._step(None, first=True)
+
+    def _step(self, result: Optional[bytes], first: bool = False) -> None:
+        if not first:
+            self.accepted += 1
+        try:
+            issue = next(self.gen) if first else self.gen.send(result)
+        except StopIteration:
+            self.done = True
+            return
+        self.issued += 1
+        self.client.invoke(issue.op, self._step, read_only=issue.read_only)
+
+
+@dataclass
+class TrialResult:
+    """Outcome of one deterministic trial."""
+
+    scenario: str
+    seed: int
+    plan: FaultPlan
+    violations: List[Violation]
+    issued: int
+    accepted: int
+    sim_seconds: float
+    wall_seconds: float
+    faults_injected: int
+    faults_cleared: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def violation_keys(self) -> List:
+        """Replay-stable identity of the failure (what ``replay`` must
+        reproduce and the shrinker preserves the non-emptiness of)."""
+        return sorted(v.key for v in self.violations)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "plan": self.plan.to_dict(),
+            "plan_text": self.plan.describe(),
+            "ok": self.ok,
+            "violations": [{"invariant": v.invariant, "detail": v.detail}
+                           for v in self.violations],
+            "issued": self.issued,
+            "accepted": self.accepted,
+            "sim_seconds": round(self.sim_seconds, 6),
+            "wall_seconds": round(self.wall_seconds, 3),
+            "faults_injected": self.faults_injected,
+            "faults_cleared": self.faults_cleared,
+        }
+
+
+def replay_command(scenario: str, seed: int,
+                   plan_file: Optional[str] = None) -> str:
+    """The shell line that reproduces a failing trial bit for bit."""
+    cmd = (f"PYTHONPATH=src python -m repro.faultlab replay "
+           f"--scenario {scenario} --seed {seed}")
+    if plan_file:
+        cmd += f" --plan {plan_file}"
+    return cmd
+
+
+# -- evidence capture ---------------------------------------------------------------
+
+
+def _record_executions(cluster, exec_log: ExecutionLog) -> None:
+    """Shim every replica's ``_safe_execute`` to log what it *computed*
+    (pre-corruption: a wrong-reply behavior rewrites the reply after this
+    point, so a lying replica's entry is its honest computation — which
+    is exactly what reply-validity must compare accepted replies to)."""
+    for replica in cluster.replicas:
+        log = exec_log.setdefault(replica.node_id, [])
+        original = replica._safe_execute
+
+        def shim(op, client_id, request_id, seq, nondet, read_only=False,
+                 _original=original, _log=log):
+            result = _original(op, client_id, request_id, seq, nondet,
+                               read_only=read_only)
+            _log.append(ExecutionEntry(seq, client_id, request_id,
+                                       digest(result), read_only))
+            return result
+
+        replica._safe_execute = shim
+        # A completed state transfer restores a checkpoint: mark the
+        # rollback so re-execution beyond it supersedes, not conflicts.
+        # Completion callbacks are one-shot, so the hook re-registers.
+        def make_hook(transfer, _log):
+            def hook(seq):
+                _log.append(RollbackEntry(seq))
+                transfer.completion_callbacks.append(hook)
+            return hook
+
+        replica.transfer.completion_callbacks.append(
+            make_hook(replica.transfer, log))
+
+
+def _record_accepts(cluster, accepted: List[AcceptedReply]) -> None:
+    """Shim every client's ``_accept`` to log the result it certified
+    (with its f+1 / 2f+1 vote already passed)."""
+    for client in cluster.clients.values():
+        original = client._accept
+
+        def shim(result, _client=client, _original=original):
+            call = _client._pending
+            accepted.append(AcceptedReply(_client.node_id,
+                                          call.request.request_id,
+                                          digest(result), _client.now))
+            _original(result)
+
+        client._accept = shim
+
+
+# -- cluster construction -----------------------------------------------------------
+
+
+def _build(scenario: Scenario, seed: int):
+    from repro.bft.config import BftConfig
+    from repro.sim.network import LinkConfig, NetworkConfig
+
+    config = BftConfig(**scenario.config)
+    network_config = NetworkConfig(seed=seed,
+                                   default_link=LinkConfig(**scenario.link))
+    if scenario.service == "kv":
+        from repro.bft.statemachine import InMemoryStateManager
+        from repro.harness.cluster import build_cluster
+        return build_cluster(
+            lambda i: InMemoryStateManager(size=scenario.state_size,
+                                           branching=scenario.branching),
+            config=config, network_config=network_config, seed=seed)
+    from repro.service.deploy import build_replicated
+    from repro.service.registry import get_service
+    definition = get_service(scenario.service)
+    if definition is None:
+        raise KeyError(f"scenario {scenario.name!r} needs unknown service "
+                       f"{scenario.service!r}")
+    options: Dict[str, Any] = {}
+    if scenario.service == "nfs":
+        from repro.nfs.spec import AbstractSpecConfig
+        options["spec"] = AbstractSpecConfig(array_size=scenario.state_size)
+    cluster, _facade = build_replicated(definition, config=config,
+                                        network_config=network_config,
+                                        seed=seed, **options)
+    return cluster
+
+
+# -- the trial runner ---------------------------------------------------------------
+
+
+def run_trial(scenario: ScenarioRef, seed: int,
+              plan: Optional[FaultPlan] = None) -> TrialResult:
+    """One deterministic trial: same (scenario, seed, plan) in, same
+    :class:`TrialResult` (minus wall time) out, in any process."""
+    scenario = _resolve(scenario)
+    started = time.perf_counter()  # reporting only; nothing reads it back
+    ctx = TrialContext(scenario, seed)
+    if plan is None:
+        plan = scenario.plan(ctx.rng_for("plan"))
+    cluster = _build(scenario, seed)
+
+    exec_log: ExecutionLog = {}
+    accepted: List[AcceptedReply] = []
+    _record_executions(cluster, exec_log)
+
+    workload = scenario.workload or kv_workload
+    scripts = []
+    for c in range(scenario.n_clients):
+        sync = cluster.add_client(f"faultlab-c{c}")
+        scripts.append(ClientScript(sync.client, workload(ctx, c)))
+    _record_accepts(cluster, accepted)
+
+    injector = FaultInjector(cluster, plan)
+    injector.arm()
+    for script in scripts:
+        script.start()
+
+    # Chaos phase: run until the workload finishes AND every scheduled
+    # fault window has at least opened (finishing early must not skip a
+    # late fault the plan — and the shrinker — believes was exercised),
+    # or until the simulated-time budget runs out.
+    horizon = max([0.0] + [max(f.start, f.stop or 0.0) for f in plan])
+    scheduler = cluster.scheduler
+    deadline = scenario.duration
+    while scheduler.now < deadline:
+        if all(s.done for s in scripts) and scheduler.now >= horizon:
+            break
+        scheduler.run_until(min(scheduler.now + 1.0, deadline))
+
+    # Quiesce and settle: force-clear lingering faults, then give the
+    # healed system time to finish view changes, recoveries, and state
+    # transfer before convergence/liveness are judged.
+    injector.quiesce()
+    cluster.run(scenario.settle)
+
+    # Convergence probe: commit a burst of harmless ops past a checkpoint
+    # boundary.  Fresh traffic is the protocol's only anti-entropy — a
+    # replica left behind by the chaos only state-transfers when it sees
+    # a stable checkpoint ahead of it, which this burst manufactures.
+    # The probe client is deliberately not evidence-instrumented.
+    if scenario.expect_liveness:
+        probe = scenario.probe or kv_probe
+        prober = cluster.add_client("faultlab-probe")
+        for k in range(cluster.config.checkpoint_interval + 2):
+            prober.call(probe(ctx, k).op)
+        cluster.run(scenario.settle)
+
+    byzantine = set(plan.byzantine_replicas())
+    correct_ids = [r.node_id for i, r in enumerate(cluster.replicas)
+                   if i not in byzantine]
+    violations = check_all(
+        cluster, exec_log, accepted, correct_ids,
+        [(s.client_id, s.done) for s in scripts],
+        scenario.expect_liveness, scenario.duration)
+    return TrialResult(
+        scenario=scenario.name, seed=seed, plan=plan, violations=violations,
+        issued=sum(s.issued for s in scripts),
+        accepted=sum(s.accepted for s in scripts),
+        sim_seconds=scheduler.now,
+        wall_seconds=time.perf_counter() - started,
+        faults_injected=injector.injected, faults_cleared=injector.cleared)
+
+
+def replay_trial(scenario: ScenarioRef, seed: int,
+                 plan: Optional[FaultPlan] = None) -> TrialResult:
+    """Re-run a trial exactly as the sweep ran it (same seed ⇒ same
+    plan ⇒ same violations); pass ``plan`` to replay a shrunk plan."""
+    return run_trial(scenario, seed, plan=plan)
+
+
+# -- shrinking ----------------------------------------------------------------------
+
+
+@dataclass
+class ShrinkResult:
+    """A locally-minimal still-failing plan for one (scenario, seed)."""
+
+    scenario: str
+    seed: int
+    original: FaultPlan
+    plan: FaultPlan
+    violations: List[Violation]
+    trials: int
+
+    @property
+    def shrunk(self) -> bool:
+        return len(self.plan) < len(self.original)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "original_faults": len(self.original),
+            "plan": self.plan.to_dict(),
+            "plan_text": self.plan.describe(),
+            "violations": [{"invariant": v.invariant, "detail": v.detail}
+                           for v in self.violations],
+            "trials": self.trials,
+            "replay": replay_command(self.scenario, self.seed,
+                                     plan_file="plan.json"),
+        }
+
+
+def shrink(scenario: ScenarioRef, seed: int, plan: FaultPlan,
+           violations: Optional[List[Violation]] = None) -> ShrinkResult:
+    """Greedily minimize a failing plan: drop one fault term at a time,
+    keep any candidate that still fails *some* invariant, repeat until no
+    single removal preserves the failure."""
+    scenario = _resolve(scenario)
+    trials = 0
+    if violations is None:
+        result = run_trial(scenario, seed, plan=plan)
+        trials += 1
+        violations = result.violations
+    if not violations:
+        raise ValueError("shrink needs a failing (plan, seed): the given "
+                         "plan produced no violations")
+    original = plan
+    best, best_violations = plan, violations
+    progress = True
+    while progress and len(best) > 1:
+        progress = False
+        for index in range(len(best)):
+            candidate = best.without(index)
+            result = run_trial(scenario, seed, plan=candidate)
+            trials += 1
+            if result.violations:
+                best, best_violations = candidate, result.violations
+                progress = True
+                break
+    return ShrinkResult(scenario=scenario.name, seed=seed, original=original,
+                        plan=best, violations=best_violations, trials=trials)
+
+
+# -- sweeping -----------------------------------------------------------------------
+
+
+@dataclass
+class SweepFailure:
+    """One failing trial plus its shrunk reproduction recipe."""
+
+    result: TrialResult
+    shrunk: ShrinkResult
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "trial": self.result.to_dict(),
+            "shrunk": self.shrunk.to_dict(),
+            "replay": replay_command(self.result.scenario, self.result.seed),
+        }
+
+
+@dataclass
+class SweepResult:
+    """Everything one sweep observed."""
+
+    scenarios: List[str]
+    seeds: List[int]
+    trials: int = 0
+    issued: int = 0
+    accepted: int = 0
+    wall_seconds: float = 0.0
+    failures: List[SweepFailure] = field(default_factory=list)
+    results: List[TrialResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def sweep(scenarios: Optional[Sequence[str]] = None,
+          seeds: Optional[Sequence[int]] = None,
+          n_seeds: int = 4, base_seed: int = 0,
+          shrink_failures: bool = True,
+          progress=None) -> SweepResult:
+    """Run every in-sweep scenario across a seed range; shrink each
+    failure and record its replay command.  ``progress`` (if given) is
+    called with a one-line string after every trial."""
+    names = list(scenarios) if scenarios else scenario_names(
+        in_sweep_only=True)
+    seed_list = list(seeds) if seeds is not None else \
+        [base_seed + k for k in range(n_seeds)]
+    out = SweepResult(scenarios=names, seeds=seed_list)
+    started = time.perf_counter()
+    for name in names:
+        for seed in seed_list:
+            result = run_trial(name, seed)
+            out.trials += 1
+            out.issued += result.issued
+            out.accepted += result.accepted
+            out.results.append(result)
+            if progress is not None:
+                status = "ok" if result.ok else \
+                    f"FAIL ({len(result.violations)} violations)"
+                progress(f"[{out.trials}] {name} seed={seed}: {status} "
+                         f"({result.plan.describe()})")
+            if not result.ok:
+                shrunk = shrink(name, seed, result.plan,
+                                violations=result.violations) \
+                    if shrink_failures else \
+                    ShrinkResult(name, seed, result.plan, result.plan,
+                                 result.violations, trials=0)
+                out.failures.append(SweepFailure(result, shrunk))
+                if progress is not None and shrink_failures:
+                    progress(f"    shrunk {len(result.plan)} -> "
+                             f"{len(shrunk.plan)} faults in "
+                             f"{shrunk.trials} trials; replay: "
+                             + replay_command(name, seed))
+    out.wall_seconds = time.perf_counter() - started
+    return out

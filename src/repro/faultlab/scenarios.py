@@ -1,0 +1,374 @@
+"""The FaultLab scenario registry.
+
+A :class:`Scenario` bundles everything one seeded trial needs: how to
+configure the cluster, a workload (a generator of operations per
+client), and a ``plan`` callable that draws a randomized — but fully
+seed-determined — :class:`~repro.faultlab.plan.FaultPlan` from the
+trial's RNG.  The sweep iterates every registered scenario with
+``in_sweep=True``; regression scenarios (deliberately beyond-f, expected
+to violate invariants) register with ``in_sweep=False`` so the smoke
+sweep stays green while tests can still reach them by name.
+
+Every random draw comes from the ``random.Random`` handed in, which the
+explorer seeds from ``f"{scenario}:{seed}:plan"`` — string seeding is
+stable across processes, so a replayed trial rebuilds the identical
+plan.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.faultlab.plan import (
+    BackendFault,
+    CrashFault,
+    DelaySpikeFault,
+    FaultPlan,
+    LossFault,
+    PartitionFault,
+    RecoveryFault,
+    ReplicaFault,
+)
+
+
+@dataclass(frozen=True)
+class Issue:
+    """One operation a workload generator yields to its client."""
+
+    op: bytes
+    read_only: bool = False
+
+
+#: A workload is a factory of per-client generators: it receives the
+#: trial context and a client index and yields :class:`Issue` items,
+#: receiving each accepted result back through ``send``.
+Workload = Callable[[Any, int], Iterator[Issue]]
+
+#: A probe maps (trial context, round k) to one harmless mutating op.
+#: The trial runner commits a burst of these after faults quiesce:
+#: fresh traffic is the protocol's only anti-entropy, so committing past
+#: a checkpoint boundary is what drags laggards through state transfer
+#: before convergence is judged.
+Probe = Callable[[Any, int], Issue]
+
+
+@dataclass
+class Scenario:
+    """One registered fault-exploration scenario."""
+
+    name: str
+    description: str
+    plan: Callable[[random.Random], FaultPlan]
+    config: Dict[str, Any] = field(default_factory=dict)
+    link: Dict[str, float] = field(default_factory=dict)
+    service: str = "kv"
+    workload: Optional[Workload] = None
+    probe: Optional[Probe] = None
+    n_clients: int = 2
+    ops_per_client: int = 8
+    state_size: int = 32
+    branching: int = 8
+    duration: float = 40.0     # simulated-seconds budget for the chaos phase
+    settle: float = 10.0       # simulated seconds of fault-free settling
+    expect_liveness: bool = True
+    in_sweep: bool = True
+
+
+SCENARIOS: Dict[str, Scenario] = {}
+
+
+def register_scenario(scenario: Scenario) -> Scenario:
+    if scenario.name in SCENARIOS:
+        raise ValueError(f"scenario {scenario.name!r} already registered")
+    SCENARIOS[scenario.name] = scenario
+    return scenario
+
+
+def get_scenario(name: str) -> Scenario:
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise KeyError(f"unknown scenario {name!r}; registered: "
+                       f"{scenario_names()}") from None
+
+
+def scenario_names(in_sweep_only: bool = False) -> List[str]:
+    return sorted(name for name, s in SCENARIOS.items()
+                  if s.in_sweep or not in_sweep_only)
+
+
+# -- workloads ---------------------------------------------------------------------
+
+
+def kv_workload(ctx, client_index: int) -> Iterator[Issue]:
+    """Closed-loop key-value traffic: mostly puts, a sprinkle of
+    read-only gets, slots and values drawn from the per-client RNG."""
+    from repro.bft.statemachine import InMemoryStateManager
+    rng = ctx.rng_for(f"workload:{client_index}")
+    scenario = ctx.scenario
+    for i in range(scenario.ops_per_client):
+        slot = rng.randrange(max(1, scenario.state_size // 2))
+        if i > 0 and rng.random() < 0.25:
+            yield Issue(InMemoryStateManager.op_get(slot), read_only=True)
+        else:
+            value = b"c%d-%d" % (client_index, i)
+            yield Issue(InMemoryStateManager.op_put(slot, value))
+
+
+def nfs_workload(ctx, client_index: int) -> Iterator[Issue]:
+    """File traffic through the registered NFS service: create files
+    under the root, write them, and read attributes back."""
+    from repro.encoding.canonical import canonical, decanonical
+    from repro.nfs.spec import ROOT_OID
+    sattr_file = (0o644, 0, 0, -1, -1, -1)
+    oids = []
+    for i in range(ctx.scenario.ops_per_client):
+        if i % 3 == 0 or not oids:
+            result = yield Issue(canonical(
+                ("create", ROOT_OID, f"f{client_index}-{i}", sattr_file)))
+            decoded = decanonical(result)
+            if decoded[0] == 0:
+                oids.append(decoded[1])
+        elif i % 3 == 1:
+            yield Issue(canonical(
+                ("write", oids[-1], 0, b"payload-%d" % i)))
+        else:
+            yield Issue(canonical(("getattr", oids[-1])), read_only=True)
+
+
+def kv_probe(ctx, k: int) -> Issue:
+    """One harmless kv mutation for the post-quiesce convergence burst."""
+    from repro.bft.statemachine import InMemoryStateManager
+    return Issue(InMemoryStateManager.op_put(0, b"probe-%d" % k))
+
+
+def nfs_probe(ctx, k: int) -> Issue:
+    """One harmless file creation for the post-quiesce convergence burst."""
+    from repro.encoding.canonical import canonical
+    from repro.nfs.spec import ROOT_OID
+    return Issue(canonical(("create", ROOT_OID, f"probe-{k}",
+                            (0o644, 0, 0, -1, -1, -1))))
+
+
+# -- plan generators ---------------------------------------------------------------
+
+_BACKUP_BEHAVIORS = ("wrong_reply", "forged_auth", "mute", "replay", "delay")
+
+
+def _plan_byzantine_backup(rng: random.Random) -> FaultPlan:
+    replica = rng.randrange(1, 4)  # a backup in view 0
+    behavior = rng.choice(_BACKUP_BEHAVIORS)
+    params: Tuple = ()
+    if behavior == "delay":
+        params = (("delay", round(rng.uniform(0.02, 0.08), 3)),)
+    elif behavior == "replay":
+        params = (("every", rng.randrange(2, 4)),)
+    return FaultPlan((ReplicaFault(replica, behavior, params=params),))
+
+
+def _plan_equivocating_primary(rng: random.Random) -> FaultPlan:
+    # The view-0 primary equivocates until the view change dethrones it;
+    # sometimes it also lies about the nondeterministic value first.
+    faults = [ReplicaFault(0, "equivocate")]
+    if rng.random() < 0.5:
+        faults.insert(0, ReplicaFault(0, "bad_nondet",
+                                      stop=rng.uniform(0.2, 0.6)))
+    return FaultPlan(tuple(faults))
+
+
+def _plan_lossy_bursts(rng: random.Random) -> FaultPlan:
+    faults = []
+    at = 0.0
+    for _ in range(rng.randrange(1, 3)):
+        start = at + rng.uniform(0.0, 1.0)
+        stop = start + rng.uniform(1.0, 4.0)
+        faults.append(LossFault(round(rng.uniform(0.03, 0.15), 3),
+                                start=round(start, 3), stop=round(stop, 3)))
+        at = stop
+    return FaultPlan(tuple(faults))
+
+
+def _plan_partition_minority(rng: random.Random) -> FaultPlan:
+    victim = rng.randrange(0, 4)  # sometimes the primary: forces a vc
+    start = round(rng.uniform(0.0, 1.0), 3)
+    stop = round(start + rng.uniform(1.5, 4.0), 3)
+    return FaultPlan((PartitionFault((victim,), start=start, stop=stop),))
+
+
+def _plan_staggered_recovery(rng: random.Random) -> FaultPlan:
+    first, second = rng.sample(range(4), 2)
+    faults = [RecoveryFault(first, start=round(rng.uniform(0.2, 1.0), 3)),
+              RecoveryFault(second, start=round(rng.uniform(4.0, 6.0), 3))]
+    if rng.random() < 0.5:
+        faults.append(LossFault(0.05, start=0.0,
+                                stop=round(rng.uniform(2.0, 5.0), 3)))
+    return FaultPlan(tuple(faults))
+
+
+def _plan_replay_under_delay_spike(rng: random.Random) -> FaultPlan:
+    replica = rng.randrange(1, 4)
+    spike_start = round(rng.uniform(0.5, 1.5), 3)
+    return FaultPlan((
+        ReplicaFault(replica, "replay", params=(("every", 2),)),
+        DelaySpikeFault(round(rng.uniform(0.005, 0.02), 4),
+                        start=spike_start,
+                        stop=round(spike_start + rng.uniform(1.0, 3.0), 3)),
+    ))
+
+
+def _plan_lossy_equivocation(rng: random.Random) -> FaultPlan:
+    """The untested combination: an equivocating primary while the
+    network is also losing messages — the view change must still go
+    through and no state may split."""
+    return FaultPlan((
+        ReplicaFault(0, "equivocate"),
+        LossFault(round(rng.uniform(0.03, 0.10), 3), start=0.0,
+                  stop=round(rng.uniform(3.0, 6.0), 3)),
+    ))
+
+
+def _plan_crash_and_return(rng: random.Random) -> FaultPlan:
+    victim = rng.randrange(0, 4)
+    start = round(rng.uniform(0.2, 1.0), 3)
+    return FaultPlan((
+        CrashFault(victim, start=start,
+                   stop=round(start + rng.uniform(2.0, 4.0), 3)),
+    ))
+
+
+def _plan_aging_nfs(rng: random.Random) -> FaultPlan:
+    """Software ageing on one NFS replica: its backend silently corrupts
+    writes for a window, then proactive recovery rejuvenates it."""
+    victim = rng.randrange(0, 4)
+    rot_stop = round(rng.uniform(1.5, 3.0), 3)
+    return FaultPlan((
+        BackendFault(victim, "corrupting",
+                     params=(("probability", 1.0), ("seed", rng.randrange(64))),
+                     stop=rot_stop),
+        RecoveryFault(victim, start=round(rot_stop + 2.0, 3)),
+    ))
+
+
+def _plan_beyond_f_wrong_reply(rng: random.Random) -> FaultPlan:
+    """Deliberately beyond f: two colluding wrong-reply replicas can mint
+    an f+1 vote for a result no correct replica computed.  Kept out of
+    the sweep; the regression tests assert the reply-validity checker
+    catches it."""
+    first, second = rng.sample(range(1, 4), 2)
+    return FaultPlan((
+        ReplicaFault(first, "wrong_reply"),
+        ReplicaFault(second, "wrong_reply"),
+    ))
+
+
+# -- the registry -------------------------------------------------------------------
+
+_FAST_CFG = dict(checkpoint_interval=4, view_change_timeout=0.8,
+                 client_retry_timeout=0.4)
+
+register_scenario(Scenario(
+    name="byzantine_backup",
+    description="One backup runs a random Byzantine behavior "
+                "(wrong replies, forged MACs, silence, replay, delay) "
+                "for the whole trial.",
+    plan=_plan_byzantine_backup,
+    config=dict(_FAST_CFG),
+))
+
+register_scenario(Scenario(
+    name="equivocating_primary",
+    description="The view-0 primary sends conflicting orderings "
+                "(sometimes after proposing bogus nondeterministic "
+                "values); the view change must restore progress.",
+    plan=_plan_equivocating_primary,
+    config=dict(_FAST_CFG, view_change_timeout=0.5),
+    n_clients=1,  # single-request batches keep the primary equivocating
+    duration=60.0,
+))
+
+register_scenario(Scenario(
+    name="lossy_bursts",
+    description="Windows of elevated message loss on every link; "
+                "retransmission paths must keep the workload moving.",
+    plan=_plan_lossy_bursts,
+    config=dict(_FAST_CFG),
+    duration=60.0,
+))
+
+register_scenario(Scenario(
+    name="partition_minority",
+    description="One replica (sometimes the primary) is partitioned "
+                "from everyone, then healed; state transfer must "
+                "reconverge it.",
+    plan=_plan_partition_minority,
+    config=dict(_FAST_CFG),
+    duration=60.0,
+))
+
+register_scenario(Scenario(
+    name="staggered_recovery",
+    description="Two staggered proactive recoveries, sometimes under "
+                "background loss; the group must stay available.",
+    plan=_plan_staggered_recovery,
+    config=dict(_FAST_CFG, reboot_delay=0.3),
+    duration=60.0,
+    settle=15.0,
+))
+
+register_scenario(Scenario(
+    name="replay_under_delay_spike",
+    description="A replaying replica plus a network-wide latency spike: "
+                "duplicates and stale messages under reordering.",
+    plan=_plan_replay_under_delay_spike,
+    config=dict(_FAST_CFG),
+))
+
+register_scenario(Scenario(
+    name="lossy_equivocation",
+    description="Equivocating primary on a lossy network: the view "
+                "change itself runs under message loss.",
+    plan=_plan_lossy_equivocation,
+    config=dict(_FAST_CFG, view_change_timeout=0.5),
+    n_clients=1,
+    duration=90.0,
+    settle=15.0,
+))
+
+register_scenario(Scenario(
+    name="crash_and_return",
+    description="A replica fail-stops mid-workload and later restarts; "
+                "it must catch back up via checkpoints/state transfer.",
+    plan=_plan_crash_and_return,
+    config=dict(_FAST_CFG),
+    duration=60.0,
+))
+
+register_scenario(Scenario(
+    name="aging_nfs",
+    description="BASEFS with one replica's backend silently corrupting "
+                "writes until proactive recovery rejuvenates it "
+                "(built from the repro.service registry).",
+    plan=_plan_aging_nfs,
+    config=dict(_FAST_CFG, reboot_delay=0.3),
+    service="nfs",
+    workload=nfs_workload,
+    probe=nfs_probe,
+    n_clients=1,
+    ops_per_client=9,
+    state_size=32,
+    duration=90.0,
+    settle=20.0,
+))
+
+register_scenario(Scenario(
+    name="beyond_f_wrong_reply",
+    description="REGRESSION (beyond f, excluded from sweeps): two "
+                "colluding wrong-reply replicas defeat the f+1 vote; "
+                "the reply-validity checker must catch it.",
+    plan=_plan_beyond_f_wrong_reply,
+    config=dict(_FAST_CFG),
+    expect_liveness=False,
+    in_sweep=False,
+))

@@ -385,3 +385,92 @@ def probe_names() -> List[str]:
 
 def get_probe(name: str) -> ServiceProbe:
     return PROBES[name]
+
+
+# -- faulty-backend probes (software ageing under the same battery) ----------------
+#
+# The battery's contract must also hold when the off-the-shelf backend is
+# *ageing* (paper §1: leaks and latent corruption are exactly what
+# proactive recovery exists to mask).  These probes wrap the NFS vendors
+# in the fault injectors from :mod:`repro.nfs.backends.faulty` and run
+# the identical checks:
+#
+# - ``nfs-leaky`` — the backend leaks on every call but has not yet aged
+#   out: conformance must be oblivious to sub-critical ageing, and the
+#   restart-survival check doubles as the rejuvenation path (``load_rep``
+#   clears the leak before remounting).
+# - ``nfs-corrupting`` — the backend silently corrupts every file write
+#   during the workload (the rot stops before repair, as when recovery
+#   rejuvenates the process): heterogeneous determinism must hold even
+#   over the rotten state, and state transfer must reproduce that state
+#   faithfully rather than laundering it.
+#
+# Kept out of :data:`PROBES` deliberately: that registry mirrors the
+# service registry one-to-one (asserted by the conformance tests).
+
+
+def _faulty_nfs_wrapper(variant: int, fault: str):
+    from repro.nfs.backends.faulty import CorruptingBackend, LeakyBackend
+    from repro.nfs.backends.vendors import (LinuxExt2Backend,
+                                            SolarisUfsBackend)
+    from repro.nfs.spec import AbstractSpecConfig
+    from repro.nfs.wrapper import NfsConformanceWrapper
+    inner = (LinuxExt2Backend, SolarisUfsBackend)[variant]()
+    if fault == "leaky":
+        backend = LeakyBackend(inner, leak_per_op=1024, limit=1 << 30)
+    else:
+        # Same seed for both variants: identical fault sequences must
+        # keep a heterogeneous pair abstractly identical.
+        backend = CorruptingBackend(inner, probability=0.0, seed=7)
+    return NfsConformanceWrapper(backend,
+                                 spec=AbstractSpecConfig(array_size=32))
+
+
+def _leaky_nfs_workload(d: Driver) -> None:
+    _nfs_workload(d)
+    assert d.wrapper.backend.leaked > 0, \
+        "nfs-leaky: the workload never exercised the leak"
+
+
+def _corrupting_nfs_workload(d: Driver) -> None:
+    backend = d.wrapper.backend
+    backend.probability = 1.0  # rot is live for the whole working period
+    try:
+        _nfs_workload(d)
+    finally:
+        backend.probability = 0.0  # ...and stops before any repair runs
+    assert backend.corruptions > 0, \
+        "nfs-corrupting: the workload never drew a corruption"
+
+
+def _make_faulty_nfs_probe(fault: str) -> ServiceProbe:
+    workload = {"leaky": _leaky_nfs_workload,
+                "corrupting": _corrupting_nfs_workload}[fault]
+    return ServiceProbe(
+        name=f"nfs-{fault}",
+        make_wrapper=lambda variant: _faulty_nfs_wrapper(variant, fault),
+        workload=workload,
+        is_error=lambda reply: reply[0] != 0,
+        mutating_op=("create", _nfs_root(), "denied.txt", _SATTR_FILE),
+        post_restart_op=("create", _nfs_root(), "post-restart.txt",
+                         _SATTR_FILE),
+        read_only_op=("getattr", _nfs_root()),
+        malformed_ops=[("getattr",), ("write", _nfs_root()),
+                       ("setattr", _nfs_root())],
+        uses_nondet=True,
+    )
+
+
+FAULTY_PROBES: Dict[str, ServiceProbe] = {
+    probe.name: probe
+    for probe in (_make_faulty_nfs_probe("leaky"),
+                  _make_faulty_nfs_probe("corrupting"))
+}
+
+
+def faulty_probe_names() -> List[str]:
+    return sorted(FAULTY_PROBES)
+
+
+def get_faulty_probe(name: str) -> ServiceProbe:
+    return FAULTY_PROBES[name]

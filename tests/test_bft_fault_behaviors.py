@@ -1,0 +1,126 @@
+"""ReplayBehavior and DelayBehavior: stale traffic and slow replicas."""
+
+from repro.bft.faults import HONEST, DelayBehavior, ReplayBehavior
+from repro.bft.statemachine import InMemoryStateManager
+from repro.sim.scheduler import Scheduler
+from tests.conftest import make_kv_cluster
+
+put = InMemoryStateManager.op_put
+
+
+class FakeMsg:
+    def __init__(self, kind, tag):
+        self.kind = kind
+        self.tag = tag
+
+
+class FakeNetwork:
+    def __init__(self):
+        self.sent = []
+
+    def send(self, src, dst, msg):
+        self.sent.append((src, dst, msg))
+
+
+class FakeNode:
+    def __init__(self, scheduler):
+        self.node_id = "replica1"
+        self.network = FakeNetwork()
+        self.scheduler = scheduler
+
+
+def test_replay_resends_stale_messages_every_nth_send():
+    node = FakeNode(Scheduler())
+    behavior = ReplayBehavior(history=4, every=2).bind(node)
+    m1, m2, m3, m4 = [FakeMsg("prepare", i) for i in range(4)]
+
+    assert behavior.rewrite_outgoing(m1, "replica2") is m1
+    assert node.network.sent == []  # nothing stale yet
+
+    assert behavior.rewrite_outgoing(m2, "replica3") is m2
+    assert node.network.sent == [("replica1", "replica2", m1)]
+    assert behavior.replayed == 1
+
+    behavior.rewrite_outgoing(m3, "replica0")
+    behavior.rewrite_outgoing(m4, "replica2")
+    assert behavior.replayed == 2
+    # The replay targets the stale message's original destination.
+    assert node.network.sent[1][1] == "replica2"
+
+
+def test_replay_history_is_bounded():
+    node = FakeNode(Scheduler())
+    behavior = ReplayBehavior(history=2, every=1000).bind(node)
+    for i in range(10):
+        behavior.rewrite_outgoing(FakeMsg("prepare", i), "replica2")
+    assert len(behavior._stale) == 2
+    assert [m.tag for _, m in behavior._stale] == [8, 9]
+
+
+def test_delay_holds_messages_for_the_configured_interval():
+    scheduler = Scheduler()
+    node = FakeNode(scheduler)
+    behavior = DelayBehavior(delay=0.05).bind(node)
+    msg = FakeMsg("commit", 0)
+
+    assert behavior.rewrite_outgoing(msg, "replica2") is None
+    assert behavior.held == 1
+    scheduler.run_until(0.04)
+    assert node.network.sent == []  # still held
+    scheduler.run_until(0.06)
+    assert node.network.sent == [("replica1", "replica2", msg)]
+
+
+def test_delay_kind_filter_passes_other_kinds_through():
+    node = FakeNode(Scheduler())
+    behavior = DelayBehavior(delay=0.05, kinds=("commit",)).bind(node)
+    prepare = FakeMsg("prepare", 0)
+    commit = FakeMsg("commit", 1)
+
+    assert behavior.rewrite_outgoing(prepare, "replica2") is prepare
+    assert behavior.rewrite_outgoing(commit, "replica2") is None
+    assert behavior.held == 1
+
+
+def test_assigning_a_behavior_binds_it_but_honest_stays_shared():
+    cluster = make_kv_cluster()
+    behavior = DelayBehavior(delay=0.01)
+    cluster.replicas[1].behavior = behavior
+    assert behavior.node is cluster.replicas[1]
+    cluster.replicas[1].behavior = HONEST
+    # The shared honest singleton must never be bound to any one node.
+    assert HONEST.node is None
+
+
+def test_replaying_backup_does_not_disrupt_service():
+    cluster = make_kv_cluster(view_change_timeout=0.5,
+                              client_retry_timeout=0.3)
+    behavior = ReplayBehavior(every=2)
+    cluster.replicas[2].behavior = behavior
+    client = cluster.add_client("client0")
+    for i in range(8):
+        assert client.call(put(i % 4, b"v%d" % i)) == b"ok"
+    assert behavior.replayed > 0, "the replayer never replayed anything"
+    cluster.run(2.0)
+    frontier = max(r.last_executed for r in cluster.replicas)
+    at_frontier = [r for r in cluster.replicas if r.last_executed == frontier]
+    assert len(at_frontier) >= cluster.config.quorum
+    values = {tuple(r.state.values) for r in at_frontier}
+    assert len(values) == 1, "replayed traffic split the state"
+
+
+def test_delayed_backup_does_not_disrupt_service():
+    cluster = make_kv_cluster(view_change_timeout=0.5,
+                              client_retry_timeout=0.3)
+    behavior = DelayBehavior(delay=0.02)
+    cluster.replicas[1].behavior = behavior
+    client = cluster.add_client("client0")
+    for i in range(8):
+        assert client.call(put(i % 4, b"v%d" % i)) == b"ok"
+    assert behavior.held > 0, "the delayer never held anything"
+    cluster.run(2.0)  # held messages drain
+    frontier = max(r.last_executed for r in cluster.replicas)
+    at_frontier = [r for r in cluster.replicas if r.last_executed == frontier]
+    assert len(at_frontier) >= cluster.config.quorum
+    values = {tuple(r.state.values) for r in at_frontier}
+    assert len(values) == 1, "delayed traffic split the state"

@@ -1,0 +1,97 @@
+"""Invariant checkers against synthetic execution logs, plus the
+end-to-end regression: a beyond-f colluding pair must be caught."""
+
+from repro.faultlab.explorer import run_trial
+from repro.faultlab.invariants import (
+    AcceptedReply,
+    ExecutionEntry,
+    RollbackEntry,
+    check_agreement,
+    check_liveness,
+    check_reply_validity,
+)
+
+CORRECT = ("replica0", "replica1", "replica2")
+
+
+def entry(seq, rid, digest, client="c0", read_only=False):
+    return ExecutionEntry(seq=seq, client_id=client, request_id=rid,
+                          result_digest=digest, read_only=read_only)
+
+
+def test_agreement_accepts_identical_histories():
+    log = {r: [entry(1, 1, b"a"), entry(2, 2, b"b")] for r in CORRECT}
+    assert check_agreement(log, CORRECT) == []
+
+
+def test_agreement_catches_divergent_digest_at_a_seq():
+    log = {r: [entry(1, 1, b"a")] for r in CORRECT}
+    log["replica2"] = [entry(1, 1, b"X")]
+    violations = check_agreement(log, CORRECT)
+    assert len(violations) == 1
+    assert violations[0].invariant == "agreement"
+    assert "seq 1 diverged" in violations[0].detail
+
+
+def test_agreement_compares_whole_batches_at_one_seq():
+    # One pre-prepare batch = several executions at the same seq; same
+    # ordered batch everywhere is agreement, a reordered batch is not.
+    batch = [entry(1, 1, b"a"), entry(1, 2, b"b", client="c1")]
+    log = {r: list(batch) for r in CORRECT}
+    assert check_agreement(log, CORRECT) == []
+    log["replica1"] = [batch[1], batch[0]]
+    violations = check_agreement(log, CORRECT)
+    assert len(violations) == 1 and "seq 1 diverged" in violations[0].detail
+
+
+def test_agreement_allows_reexecution_after_rollback():
+    # replica2 state-transferred back to seq 1 and legitimately re-ran
+    # seq 2; without the marker the same trace is an ordering violation.
+    log = {r: [entry(1, 1, b"a"), entry(2, 2, b"b")] for r in CORRECT}
+    log["replica2"] = log["replica2"] + [RollbackEntry(1), entry(2, 2, b"b")]
+    assert check_agreement(log, CORRECT) == []
+
+    # The same rewind without the marker is an ordering violation.
+    log["replica2"] = [entry(1, 1, b"a"), entry(2, 2, b"b"), entry(1, 1, b"a")]
+    violations = check_agreement(log, CORRECT)
+    assert any("out of order" in v.detail for v in violations)
+
+
+def test_agreement_ignores_read_only_and_byzantine_entries():
+    log = {r: [entry(1, 1, b"a")] for r in CORRECT}
+    log["replica0"].append(entry(1, 3, b"r", read_only=True))
+    log["replica3"] = [entry(1, 1, b"LIE")]  # not in correct_ids
+    assert check_agreement(log, CORRECT) == []
+
+
+def test_reply_validity_accepts_backed_replies():
+    log = {"replica0": [entry(1, 1, b"a")], "replica1": [entry(1, 1, b"a")]}
+    accepted = [AcceptedReply("c0", 1, b"a", at=0.5)]
+    assert check_reply_validity(accepted, log, CORRECT) == []
+
+
+def test_reply_validity_catches_unbacked_digest_and_unknown_request():
+    log = {"replica0": [entry(1, 1, b"a")]}
+    accepted = [AcceptedReply("c0", 1, b"FORGED", at=0.5),
+                AcceptedReply("c0", 99, b"a", at=0.6)]
+    violations = check_reply_validity(accepted, log, CORRECT)
+    assert [v.invariant for v in violations] == ["reply_validity"] * 2
+    assert "correct replicas computed" in violations[0].detail
+    assert "no correct replica executed" in violations[1].detail
+
+
+def test_liveness_flags_stuck_clients_only_when_expected():
+    done = [("c0", True), ("c1", False)]
+    violations = check_liveness(done, expect_liveness=True, duration=40.0)
+    assert len(violations) == 1 and "c1" in violations[0].detail
+    assert check_liveness(done, expect_liveness=False, duration=40.0) == []
+    assert check_liveness([("c0", True)], True, 40.0) == []
+
+
+def test_beyond_f_collusion_is_caught_by_reply_validity():
+    """ACCEPTANCE: two colluding wrong-reply replicas out-vote f=1 — the
+    client accepts a fabricated result and the checker must say so."""
+    result = run_trial("beyond_f_wrong_reply", 0)
+    assert not result.ok
+    kinds = {v.invariant for v in result.violations}
+    assert kinds & {"reply_validity", "agreement"}, result.violations

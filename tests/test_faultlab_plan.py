@@ -1,0 +1,94 @@
+"""FaultPlan DSL: value semantics, serialization, and validation."""
+
+import pytest
+
+from repro.faultlab.plan import (
+    BackendFault,
+    CrashFault,
+    DelaySpikeFault,
+    FaultPlan,
+    LossFault,
+    PartitionFault,
+    RecoveryFault,
+    ReplicaFault,
+)
+
+
+def full_plan():
+    return FaultPlan((
+        ReplicaFault(1, "wrong_reply", start=1.0, stop=5.0),
+        ReplicaFault(0, "delay", params={"delay": 0.02, "kinds": ["commit"]}),
+        PartitionFault((3, 2), start=2.0, stop=4.0),
+        LossFault(0.1, start=0.5, stop=3.0),
+        DelaySpikeFault(0.05, start=1.0, stop=2.0),
+        CrashFault(2, start=1.0, stop=6.0),
+        RecoveryFault(3, start=4.0),
+        BackendFault(1, "corrupting", params={"probability": 1.0, "seed": 7},
+                     start=0.0, stop=8.0),
+    ))
+
+
+def test_json_round_trip_covers_every_fault_kind():
+    plan = full_plan()
+    assert {f.kind for f in plan} == {
+        "replica", "partition", "loss", "delay_spike",
+        "crash", "recovery", "backend"}
+    assert FaultPlan.from_json(plan.to_json()) == plan
+
+
+def test_without_is_strictly_smaller_and_order_preserving():
+    plan = full_plan()
+    smaller = plan.without(2)
+    assert len(smaller) == len(plan) - 1
+    assert smaller.faults == plan.faults[:2] + plan.faults[3:]
+    assert plan == full_plan()  # immutable: original untouched
+
+
+def test_byzantine_replicas_covers_lying_faults_only():
+    plan = full_plan()
+    # wrong_reply on 1, delay on 0, corrupting backend on 1 — crash,
+    # partition, and recovery victims stay correct.
+    assert plan.byzantine_replicas() == (0, 1)
+    assert FaultPlan((CrashFault(2),)).byzantine_replicas() == ()
+
+
+def test_validation_rejects_bad_terms():
+    with pytest.raises(ValueError):
+        ReplicaFault(1, "segfault")
+    with pytest.raises(ValueError):
+        BackendFault(1, "bitsquatting")
+    with pytest.raises(ValueError):
+        LossFault(1.0)
+    with pytest.raises(ValueError):
+        LossFault(-0.1)
+    with pytest.raises(ValueError):
+        DelaySpikeFault(0.0)
+    with pytest.raises(ValueError):
+        PartitionFault(())
+    with pytest.raises(ValueError):
+        FaultPlan.from_dict({"faults": [{"kind": "gremlin"}]})
+
+
+def test_params_normalize_to_one_hashable_identity():
+    by_dict = ReplicaFault(1, "delay", params={"delay": 0.05, "kinds": None})
+    by_pairs = ReplicaFault(1, "delay",
+                            params=(("kinds", None), ("delay", 0.05)))
+    assert by_dict == by_pairs
+    assert hash(by_dict) == hash(by_pairs)
+    assert by_dict.params == (("delay", 0.05), ("kinds", None))
+
+
+def test_partition_group_is_sorted_and_deduplicated():
+    fault = PartitionFault((2, 0, 2))
+    assert fault.replicas == (0, 2)
+
+
+def test_describe_is_stable_and_covers_windows():
+    plan = FaultPlan((
+        ReplicaFault(1, "mute"),
+        LossFault(0.1, start=0.5, stop=3.0),
+        RecoveryFault(3, start=4.0),
+    ))
+    assert plan.describe() == ("replica1:mute + loss(0.1)@[0.5,3)s"
+                               " + recovery[replica3]@4s")
+    assert FaultPlan().describe() == "fault-free"

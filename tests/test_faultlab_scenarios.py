@@ -1,0 +1,87 @@
+"""Scenario registry coverage and the FaultLab CLI surface."""
+
+import json
+import random
+
+import pytest
+
+from repro.faultlab.__main__ import main
+from repro.faultlab.explorer import run_trial
+from repro.faultlab.plan import FaultPlan, ReplicaFault
+from repro.faultlab.report import (
+    validate_sweep_report,
+    validate_trial_report,
+)
+from repro.faultlab.scenarios import (
+    SCENARIOS,
+    get_scenario,
+    scenario_names,
+)
+
+SWEPT = scenario_names(in_sweep_only=True)
+
+
+def test_registry_has_the_required_breadth():
+    assert len(SWEPT) >= 6
+    assert "beyond_f_wrong_reply" in scenario_names()
+    assert "beyond_f_wrong_reply" not in SWEPT
+    services = {SCENARIOS[name].service for name in SWEPT}
+    assert "kv" in services and "nfs" in services
+
+
+def test_plan_generators_are_seed_deterministic():
+    for name in SWEPT:
+        gen = get_scenario(name).plan
+        first = gen(random.Random(f"{name}:determinism"))
+        second = gen(random.Random(f"{name}:determinism"))
+        assert first == second, name
+
+
+@pytest.mark.parametrize("name", SWEPT)
+def test_swept_scenarios_hold_their_invariants_at_seed_zero(name):
+    result = run_trial(name, 0)
+    assert result.ok, [str(v) for v in result.violations]
+    assert result.accepted > 0
+    assert result.faults_injected > 0
+
+
+def test_cli_list_and_run(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "beyond_f_wrong_reply" in out and "not swept" in out
+
+    assert main(["run", "--scenario", "byzantine_backup",
+                 "--seed", "0"]) == 0
+    out = capsys.readouterr().out
+    assert "all invariants hold" in out
+
+
+def test_cli_run_writes_a_validating_report(tmp_path):
+    out = tmp_path / "trial.json"
+    assert main(["run", "--scenario", "lossy_bursts", "--seed", "1",
+                 "--json", str(out)]) == 0
+    report = json.loads(out.read_text())
+    validate_trial_report(report)
+    assert report["scenario"] == "lossy_bursts"
+
+
+def test_cli_sweep_writes_a_validating_report(tmp_path):
+    out = tmp_path / "sweep.json"
+    assert main(["sweep", "--quick", "--quiet",
+                 "--scenario", "byzantine_backup",
+                 "--out", str(out)]) == 0
+    report = json.loads(out.read_text())
+    validate_sweep_report(report)
+    assert report["mode"] == "quick"
+    assert report["trials"] == 3  # --quick pins 3 seeds per scenario
+
+
+def test_cli_replay_with_a_failing_plan_exits_nonzero(tmp_path, capsys):
+    plan = FaultPlan((ReplicaFault(1, "wrong_reply"),
+                      ReplicaFault(2, "wrong_reply")))
+    plan_file = tmp_path / "plan.json"
+    plan_file.write_text(plan.to_json())
+    code = main(["replay", "--scenario", "beyond_f_wrong_reply",
+                 "--seed", "0", "--plan", str(plan_file)])
+    assert code == 1
+    assert "violation" in capsys.readouterr().out

@@ -13,6 +13,8 @@ from repro.service.conformance import (
     check_read_only_rejection,
     check_restart_survival,
     check_round_trip,
+    faulty_probe_names,
+    get_faulty_probe,
     get_probe,
     probe_names,
 )
@@ -47,6 +49,42 @@ def test_malformed_ops(name):
 @pytest.mark.parametrize("name", probe_names())
 def test_restart_survival(name):
     check_restart_survival(get_probe(name))
+
+
+# -- faulty backends ---------------------------------------------------------
+#
+# The BASE claim under test: the abstraction wrapper tolerates software
+# aging in the off-the-shelf implementation.  The faulty probes wrap the
+# real vendor backends in the ageing wrappers from
+# repro.nfs.backends.faulty, and their workloads assert the fault
+# actually fired — so a pass means conformance held *through* the fault,
+# not around it.
+
+
+def test_faulty_probe_registry():
+    assert set(faulty_probe_names()) == {"nfs-leaky", "nfs-corrupting"}
+    # Faulty probes deliberately stay out of the 1:1 service registry.
+    assert not set(faulty_probe_names()) & set(probe_names())
+
+
+@pytest.mark.parametrize("check", BATTERY, ids=lambda c: c.__name__)
+@pytest.mark.parametrize("name", faulty_probe_names())
+def test_battery_over_faulty_nfs_backends(name, check):
+    check(get_faulty_probe(name))
+
+
+def test_aged_out_leaky_backend_recovers_via_rejuvenation():
+    probe = get_faulty_probe("nfs-leaky")
+    driver = probe.driver(0)
+    backend = driver.wrapper.backend
+    backend.leaked = backend.limit  # instant old age
+    assert probe.is_error(driver.op(*probe.mutating_op))
+    # The proactive-recovery path: load_rep rejuvenates the backend
+    # before remounting, so the aged-out server comes back healthy.
+    driver.wrapper.load_rep(driver.wrapper.save_rep())
+    assert backend.leaked < backend.limit
+    driver.ok(*probe.post_restart_op)
+    driver.ok(*probe.mutating_op)
 
 
 def test_battery_covers_all_five_checks():
