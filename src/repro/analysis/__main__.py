@@ -1,0 +1,136 @@
+"""ProtoLint command line.
+
+    python -m repro.analysis [PATH ...] [--format text|json] [--out FILE]
+                             [--rules DET-RNG,RPL-SETITER,...]
+                             [--baseline FILE] [--write-baseline]
+                             [--list-rules]
+
+Checks every ``*.py`` under the given paths (default: ``src/repro``)
+against the registered rule set and exits nonzero if any non-baselined
+finding remains — that is the whole contract of the ``protolint`` CI
+job.  ``--format json`` emits the schema-validated report document on
+stdout; ``--out`` writes it to a file in either format mode.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis import baseline as baselinelib
+from repro.analysis import report as reportlib
+from repro.analysis.engine import Engine
+from repro.analysis.rules import all_rules, select_rules
+
+
+def _resolve_roots(paths):
+    if paths:
+        roots = [Path(p) for p in paths]
+    else:
+        default = Path("src") / "repro"
+        if not default.is_dir():
+            print("protolint: no paths given and ./src/repro does not "
+                  "exist; pass the tree to check", file=sys.stderr)
+            raise SystemExit(2)
+        roots = [default]
+    for root in roots:
+        if not root.exists():
+            print(f"protolint: no such path: {root}", file=sys.stderr)
+            raise SystemExit(2)
+    return roots
+
+
+def _print_rules() -> int:
+    for rule in all_rules():
+        print(f"{rule.rule_id:12s} [{rule.severity}] {rule.title}")
+        print(f"    {rule.rationale}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="ProtoLint: protocol-aware static analysis for the "
+                    "BASE reproduction.")
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to check "
+                             "(default: src/repro)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", dest="fmt",
+                        help="stdout format (default text)")
+    parser.add_argument("--out", metavar="FILE",
+                        help="also write the schema-validated JSON report "
+                             "here")
+    parser.add_argument("--rules", metavar="IDS",
+                        help="comma-separated rule ids to enable "
+                             "(default: all)")
+    parser.add_argument("--baseline", metavar="FILE",
+                        help="baseline file of grandfathered findings")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="write all current findings to --baseline "
+                             "and exit 0")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        return _print_rules()
+
+    if args.write_baseline and not args.baseline:
+        parser.error("--write-baseline requires --baseline")
+
+    try:
+        rules = select_rules(args.rules.split(",")) if args.rules \
+            else all_rules()
+    except ValueError as err:
+        parser.error(str(err))
+
+    roots = _resolve_roots(args.paths)
+    engine = Engine(rules)
+    findings = []
+    for root in roots:
+        findings.extend(engine.run(root))
+    findings.sort()
+
+    if args.write_baseline:
+        baselinelib.dump([f.fingerprint for f in findings],
+                         Path(args.baseline))
+        print(f"baseline with {len(findings)} finding(s) written to "
+              f"{args.baseline}")
+        return 0
+
+    fingerprints = []
+    if args.baseline and Path(args.baseline).exists():
+        try:
+            fingerprints = baselinelib.load(Path(args.baseline))
+        except ValueError as err:
+            print(f"protolint: {err}", file=sys.stderr)
+            return 2
+    diff = baselinelib.apply(findings, fingerprints)
+    doc = reportlib.build(diff, engine.rule_ids, roots)
+
+    if args.out:
+        reportlib.dump(doc, Path(args.out))
+
+    if args.fmt == "json":
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        for finding in diff.new:
+            print(finding.render())
+        for fingerprint in diff.stale:
+            print(f"warning: stale baseline entry (no longer fires): "
+                  f"{fingerprint}")
+        counts = doc["counts"]
+        checked = ", ".join(str(r) for r in roots)
+        print(f"protolint: {len(engine.rule_ids)} rules over {checked}: "
+              f"{counts['errors']} error(s), {counts['warnings']} "
+              f"warning(s), {counts['baselined']} baselined, "
+              f"{counts['stale_baseline']} stale baseline entr"
+              f"{'y' if counts['stale_baseline'] == 1 else 'ies'}")
+    return 0 if doc["ok"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

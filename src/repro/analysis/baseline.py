@@ -1,0 +1,74 @@
+"""Baseline files: grandfathered findings that do not fail the build.
+
+A baseline is a committed JSON document listing finding *fingerprints*
+(``RULE:path:message`` — no line numbers, so unrelated edits do not
+churn it).  Semantics:
+
+- a current finding whose fingerprint is in the baseline is filtered
+  out (reported only as a count);
+- a current finding not in the baseline fails the run;
+- a baseline entry matching no current finding is *stale* and produces
+  a warning, so the file shrinks as debt is paid down.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Sequence, Tuple
+
+from repro.analysis.engine import Finding
+
+BASELINE_KIND = "protolint_baseline"
+SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineDiff:
+    """Outcome of applying a baseline to a finding list."""
+
+    new: Tuple[Finding, ...]        # not in the baseline: these fail
+    baselined: Tuple[Finding, ...]  # grandfathered: pass, counted
+    stale: Tuple[str, ...]          # baseline entries matching nothing
+
+
+def load(path: Path) -> List[str]:
+    """Load and validate a baseline file; returns its fingerprints."""
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as err:
+        raise ValueError(f"{path}: not valid JSON ({err})") from err
+    if not isinstance(doc, dict) or doc.get("kind") != BASELINE_KIND:
+        raise ValueError(f"{path}: kind must be {BASELINE_KIND!r}")
+    if doc.get("schema_version") != SCHEMA_VERSION:
+        raise ValueError(f"{path}: unsupported schema_version "
+                         f"{doc.get('schema_version')!r}")
+    entries = doc.get("findings")
+    if not isinstance(entries, list) or \
+            not all(isinstance(e, str) and e.count(":") >= 2
+                    for e in entries):
+        raise ValueError(f"{path}: findings must be a list of "
+                         f"'RULE:path:message' strings")
+    return sorted(set(entries))
+
+
+def dump(fingerprints: Sequence[str], path: Path) -> None:
+    doc = {
+        "kind": BASELINE_KIND,
+        "schema_version": SCHEMA_VERSION,
+        "findings": sorted(set(fingerprints)),
+    }
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+
+
+def apply(findings: Sequence[Finding],
+          fingerprints: Sequence[str]) -> BaselineDiff:
+    """Split ``findings`` into new vs grandfathered; detect stale entries."""
+    allowed = set(fingerprints)
+    new = tuple(f for f in findings if f.fingerprint not in allowed)
+    baselined = tuple(f for f in findings if f.fingerprint in allowed)
+    current = {f.fingerprint for f in findings}
+    stale = tuple(sorted(allowed - current))
+    return BaselineDiff(new=new, baselined=baselined, stale=stale)

@@ -1,0 +1,81 @@
+"""Scope configuration for the ProtoLint rule set.
+
+Rules consult this to decide where they apply.  Paths are relative to
+the ``repro`` package root (``bft/replica.py``), matching the paths the
+engine puts in findings.  The defaults encode this repo's layout; tests
+construct narrower configs to point rules at fixture trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet
+
+
+def _top(rel: str) -> str:
+    """Top-level package of a finding path (``bft/replica.py`` -> ``bft``)."""
+    return rel.split("/", 1)[0]
+
+
+#: Packages whose code runs *inside* the simulation: protocol logic,
+#: replicated state, and the conformance wrappers.  Nothing here may
+#: touch real time, threads, sockets, or the filesystem — the simulator
+#: is the only source of time and I/O.
+PROTOCOL_PACKAGES = frozenset({
+    "base", "bft", "crypto", "encoding", "http", "nfs", "service", "sim",
+    "sql", "thor", "workloads",
+})
+
+#: Packages whose iteration order feeds replicated state or replay:
+#: the BFT protocol itself, the simulator, FaultLab, and the abstract
+#: state library.  Hash-ordered iteration here breaks (scenario, seed)
+#: reproducibility.
+REPLAY_PACKAGES = frozenset({"base", "bft", "faultlab", "sim"})
+
+#: Modules allowed to call ``time.perf_counter``: wall-clock *reporting*
+#: only — they measure wall time about a run, never feed it back in.
+PERF_COUNTER_ALLOWED = frozenset({
+    "sim/metrics.py", "faultlab/explorer.py",
+})
+
+#: Modules allowed real file I/O: report writers and CLI entry points
+#: (they serialize results *after* the simulation) plus the repo-metrics
+#: harness that reads source files by design.
+IO_ALLOWED = frozenset({
+    "faultlab/report.py", "faultlab/__main__.py",
+    "analysis/engine.py", "analysis/__main__.py", "analysis/baseline.py",
+    "harness/complexity.py", "harness/report.py",
+})
+
+
+@dataclass(frozen=True)
+class AnalysisConfig:
+    protocol_packages: FrozenSet[str] = PROTOCOL_PACKAGES
+    replay_packages: FrozenSet[str] = REPLAY_PACKAGES
+    perf_counter_allowed: FrozenSet[str] = PERF_COUNTER_ALLOWED
+    io_allowed: FrozenSet[str] = IO_ALLOWED
+
+    def in_protocol(self, rel: str) -> bool:
+        return ("*" in self.protocol_packages
+                or _top(rel) in self.protocol_packages)
+
+    def in_replay(self, rel: str) -> bool:
+        return ("*" in self.replay_packages
+                or _top(rel) in self.replay_packages)
+
+    def perf_counter_ok(self, rel: str) -> bool:
+        return rel in self.perf_counter_allowed
+
+    def io_ok(self, rel: str) -> bool:
+        return rel in self.io_allowed
+
+
+#: Config used by tests pointing rules at fixture files: every scope
+#: check passes (``"*"`` wildcard), so each rule exercises its logic
+#: regardless of the fixture's path.
+EVERYWHERE = AnalysisConfig(
+    protocol_packages=frozenset({"*"}),
+    replay_packages=frozenset({"*"}),
+    perf_counter_allowed=frozenset(),
+    io_allowed=frozenset(),
+)

@@ -1,0 +1,275 @@
+"""ProtoLint rule engine: a single-pass AST walker with pluggable rules.
+
+The engine parses each file once, walks the tree once, and dispatches
+every node to the rules registered for that node type.  Rules report
+:class:`Finding` records through the :class:`FileContext`; the context
+applies inline suppressions (``# protolint: disable=RULE-ID reason``)
+before a finding is recorded, so rules never need to know about them.
+
+Design constraints, in the spirit of the repo's determinism discipline:
+
+- findings are value objects with a total order, so a run over the same
+  tree always reports the same findings in the same order;
+- suppressions *require* a reason — an inline disable with no reason (or
+  naming an unknown rule) is itself a finding (``PL-SUPPRESS``);
+- everything is pure-stdlib (``ast`` + ``tokenize``), no third-party
+  dependency.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Type
+
+from repro.analysis.config import AnalysisConfig
+
+#: Rule id reserved for problems with suppression comments themselves.
+SUPPRESS_RULE_ID = "PL-SUPPRESS"
+
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one site.
+
+    The field order *is* the sort order: findings group by file, then by
+    position, then by rule — stable across runs and Python versions.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    severity: str = "error"
+
+    @property
+    def fingerprint(self) -> str:
+        """Baseline identity: stable across line-number churn."""
+        return f"{self.rule}:{self.path}:{self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"rule": self.rule, "path": self.path, "line": self.line,
+                "col": self.col, "message": self.message,
+                "severity": self.severity}
+
+    def render(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.rule} [{self.severity}] {self.message}")
+
+
+class Rule:
+    """Base class for ProtoLint rules.
+
+    Subclasses set ``rule_id``, ``title``, ``rationale``, and
+    ``node_types`` (the AST classes they want dispatched), then implement
+    :meth:`visit`.  ``begin_file`` runs once per file before the walk —
+    rules that need a pre-pass (e.g. inferring which names hold sets)
+    collect state there and must reset it per file.
+    """
+
+    rule_id: str = ""
+    severity: str = "error"
+    title: str = ""
+    rationale: str = ""
+    #: Example of a violation, for the docs rule catalog.
+    example: str = ""
+    node_types: Tuple[type, ...] = ()
+
+    def applies_to(self, ctx: "FileContext") -> bool:
+        """Whether this rule runs on ``ctx.rel`` at all (scope check)."""
+        return True
+
+    def begin_file(self, ctx: "FileContext") -> None:
+        """Per-file pre-pass hook; default does nothing."""
+
+    def visit(self, node: ast.AST, ctx: "FileContext") -> None:
+        raise NotImplementedError
+
+
+@dataclass
+class _Suppression:
+    line: int
+    rules: Tuple[str, ...]
+    reason: str
+    standalone: bool  # comment-only line: also covers the next line
+
+
+_DISABLE_RE = re.compile(
+    r"protolint:\s*disable=([A-Za-z0-9_,\-]+)\s*(.*)\Z")
+
+
+class FileContext:
+    """Everything rules may consult about the file being checked."""
+
+    def __init__(self, rel: str, source: str, config: AnalysisConfig,
+                 known_rule_ids: Iterable[str]):
+        self.rel = rel
+        self.source = source
+        self.config = config
+        self.tree: Optional[ast.AST] = None  # set by the engine pre-walk
+        self.findings: List[Finding] = []
+        self._known = set(known_rule_ids) | {SUPPRESS_RULE_ID}
+        #: line -> suppression record covering that line.
+        self._suppressions: Dict[int, _Suppression] = {}
+        self._parse_suppressions()
+
+    # -- suppressions ----------------------------------------------------------
+
+    def _parse_suppressions(self) -> None:
+        """Scan comments with ``tokenize`` (immune to '#' inside strings)."""
+        try:
+            tokens = list(tokenize.generate_tokens(
+                io.StringIO(self.source).readline))
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            return  # the ast parse will report the real problem
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _DISABLE_RE.search(tok.string)
+            if match is None:
+                if "protolint:" in tok.string:
+                    self._raw_report(Finding(
+                        self.rel, tok.start[0], tok.start[1],
+                        SUPPRESS_RULE_ID,
+                        "malformed protolint comment (expected "
+                        "'protolint: disable=RULE-ID reason')"))
+                continue
+            line = tok.start[0]
+            rules = tuple(r for r in match.group(1).split(",") if r)
+            reason = match.group(2).strip()
+            standalone = self.source.splitlines()[line - 1] \
+                .lstrip().startswith("#")
+            if not reason:
+                self._raw_report(Finding(
+                    self.rel, line, tok.start[1], SUPPRESS_RULE_ID,
+                    f"suppression of {','.join(rules)} has no reason "
+                    f"(format: '# protolint: disable=RULE-ID reason')"))
+                continue
+            unknown = [r for r in rules if r not in self._known]
+            if unknown:
+                self._raw_report(Finding(
+                    self.rel, line, tok.start[1], SUPPRESS_RULE_ID,
+                    f"suppression names unknown rule "
+                    f"{', '.join(sorted(unknown))}"))
+                continue
+            self._suppressions[line] = _Suppression(
+                line, rules, reason, standalone)
+
+    def suppressed(self, rule_id: str, line: int) -> bool:
+        """A finding is suppressed by a disable comment on its own line,
+        or by a standalone disable comment on the line directly above."""
+        here = self._suppressions.get(line)
+        if here is not None and rule_id in here.rules:
+            return True
+        above = self._suppressions.get(line - 1)
+        return (above is not None and above.standalone
+                and rule_id in above.rules)
+
+    # -- reporting -------------------------------------------------------------
+
+    def _raw_report(self, finding: Finding) -> None:
+        self.findings.append(finding)
+
+    def report(self, rule: Rule, node: ast.AST, message: str) -> None:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        if self.suppressed(rule.rule_id, line):
+            return
+        self._raw_report(Finding(self.rel, line, col, rule.rule_id,
+                                 message, rule.severity))
+
+
+class Engine:
+    """Runs a rule set over sources: one parse, one walk per file."""
+
+    def __init__(self, rules: Sequence[Rule],
+                 config: Optional[AnalysisConfig] = None):
+        seen: Dict[str, Rule] = {}
+        for rule in rules:
+            if not rule.rule_id:
+                raise ValueError(f"{type(rule).__name__} has no rule_id")
+            if rule.rule_id in seen:
+                raise ValueError(f"duplicate rule id {rule.rule_id}")
+            if rule.severity not in SEVERITIES:
+                raise ValueError(f"{rule.rule_id}: bad severity "
+                                 f"{rule.severity!r}")
+            seen[rule.rule_id] = rule
+        self.rules: Tuple[Rule, ...] = tuple(
+            seen[rid] for rid in sorted(seen))
+        self.config = config or AnalysisConfig()
+        self._dispatch: Dict[type, List[Rule]] = {}
+        for rule in self.rules:
+            for node_type in rule.node_types:
+                self._dispatch.setdefault(node_type, []).append(rule)
+
+    @property
+    def rule_ids(self) -> Tuple[str, ...]:
+        return tuple(rule.rule_id for rule in self.rules)
+
+    def check_source(self, source: str, rel: str) -> List[Finding]:
+        """Check one file's text; ``rel`` is its path used in findings
+        and in rule scope decisions (e.g. ``bft/replica.py``)."""
+        ctx = FileContext(rel, source, self.config, self.rule_ids)
+        try:
+            tree = ast.parse(source, filename=rel)
+        except SyntaxError as err:
+            ctx._raw_report(Finding(rel, err.lineno or 1, 0, "PL-SYNTAX",
+                                    f"syntax error: {err.msg}"))
+            return sorted(ctx.findings)
+        ctx.tree = tree
+        active = [r for r in self.rules if r.applies_to(ctx)]
+        active_ids = {r.rule_id for r in active}
+        for rule in active:
+            rule.begin_file(ctx)
+        for node in ast.walk(tree):
+            for rule in self._dispatch.get(type(node), ()):
+                if rule.rule_id in active_ids:
+                    rule.visit(node, ctx)
+        return sorted(ctx.findings)
+
+    def check_file(self, path: Path, rel: Optional[str] = None
+                   ) -> List[Finding]:
+        rel = rel if rel is not None else path.name
+        return self.check_source(path.read_text(encoding="utf-8"), rel)
+
+    def run(self, root: Path) -> List[Finding]:
+        """Check every ``*.py`` under ``root`` (or just ``root`` if it is
+        a file); findings carry paths relative to the package root."""
+        findings: List[Finding] = []
+        if root.is_file():
+            findings.extend(self.check_file(root, relativize(root, root)))
+            return sorted(findings)
+        for path in sorted(root.rglob("*.py")):
+            findings.extend(self.check_file(path, relativize(path, root)))
+        return sorted(findings)
+
+
+def relativize(path: Path, root: Path) -> str:
+    """Finding path for ``path`` scanned from ``root``.
+
+    Rule scopes are package-relative (``bft/replica.py``), so when the
+    scanned tree contains the ``repro`` package the path is rebased onto
+    it — ``src/repro/bft/replica.py`` and ``bft/replica.py`` agree no
+    matter which directory the CLI was pointed at.
+    """
+    path = path.resolve()
+    root = root.resolve()
+    parts = path.parts
+    if "repro" in parts:
+        idx = len(parts) - 1 - tuple(reversed(parts)).index("repro")
+        tail = parts[idx + 1:]
+        if tail:
+            return "/".join(tail)
+    if root.is_dir():
+        try:
+            return path.relative_to(root).as_posix()
+        except ValueError:
+            pass
+    return path.name

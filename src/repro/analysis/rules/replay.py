@@ -1,0 +1,212 @@
+"""Replay-soundness rules: iteration order is replicated state.
+
+In the BFT packages, FaultLab, the simulator, and the abstract-state
+library, any value that depends on hash order (set iteration, ``id()``
+keys) or on call-time aliasing (mutable default arguments) can diverge
+across replicas or across replays of the same (scenario, seed) pair —
+exactly the class of bug the BASE abstraction exists to mask in *other
+people's* code.  Ours must not have them.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Set
+
+from repro.analysis.engine import FileContext, Rule
+
+#: Builtins producing set-typed values.
+SET_BUILTINS = frozenset({"set", "frozenset"})
+
+#: Containers whose display literals are mutable (for RPL-MUTDEF).
+MUTABLE_CALL_DEFAULTS = frozenset({
+    "list", "dict", "set", "bytearray", "defaultdict", "OrderedDict",
+    "Counter", "deque",
+})
+
+
+def _set_typed_annotation(annotation: ast.AST) -> bool:
+    """True for annotations spelling a set type: ``set``, ``Set[...]``,
+    ``frozenset``, ``FrozenSet[...]`` (bare or subscripted)."""
+    node = annotation
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    name = None
+    if isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):  # typing.Set
+        name = node.attr
+    if name is None and isinstance(annotation, ast.Constant) and \
+            isinstance(annotation.value, str):
+        # String annotation: cheap textual check.
+        text = annotation.value
+        return text.startswith(("Set[", "FrozenSet[", "set", "frozenset"))
+    return name in {"set", "frozenset", "Set", "FrozenSet", "MutableSet",
+                    "AbstractSet"}
+
+
+class UnorderedIterationRule(Rule):
+    rule_id = "RPL-SETITER"
+    title = "No iteration over hash-ordered sets in replay-critical code"
+    rationale = ("Set iteration order depends on PYTHONHASHSEED and "
+                 "insertion history; looping over a set (or converting "
+                 "one with list()/tuple()) in protocol, simulator, or "
+                 "FaultLab code lets hash order leak into replicated "
+                 "state or replay.  Wrap the set in sorted().")
+    example = "for index in self._dirty: ...   # use sorted(self._dirty)"
+    node_types = (ast.For, ast.ListComp, ast.GeneratorExp, ast.DictComp,
+                  ast.Call)
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.config.in_replay(ctx.rel)
+
+    # -- per-file inference of set-typed names --------------------------------
+
+    def begin_file(self, ctx: FileContext) -> None:
+        """Pre-pass: collect plain names and ``self.X`` attribute names
+        that are ever assigned (or annotated as) a set in this file."""
+        names: Set[str] = set()
+        attrs: Set[str] = set()
+        for node in ast.walk(ctx.tree):
+            value = None
+            targets = ()
+            if isinstance(node, ast.Assign):
+                value, targets = node.value, node.targets
+            elif isinstance(node, ast.AnnAssign):
+                value = node.value
+                targets = (node.target,)
+                if _set_typed_annotation(node.annotation):
+                    self._record(targets, names, attrs)
+                    continue
+            elif isinstance(node, ast.AugAssign):
+                # s |= {...} / s &= other keep set-ness; recorded only if
+                # the target was already seen via a plain assignment.
+                continue
+            else:
+                continue
+            if value is not None and self._is_set_expr(value, names, attrs):
+                self._record(targets, names, attrs)
+        ctx._rpl_set_names = names      # type: ignore[attr-defined]
+        ctx._rpl_set_attrs = attrs      # type: ignore[attr-defined]
+
+    @staticmethod
+    def _record(targets, names: Set[str], attrs: Set[str]) -> None:
+        for target in targets:
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+            elif isinstance(target, ast.Attribute) and \
+                    isinstance(target.value, ast.Name) and \
+                    target.value.id == "self":
+                attrs.add(target.attr)
+            elif isinstance(target, ast.Tuple):
+                # (a, b) = ... — element-wise set-ness is unknowable
+                # without real type inference; skip.
+                continue
+
+    @staticmethod
+    def _is_set_expr(node: ast.AST, names: Set[str], attrs: Set[str],
+                     ) -> bool:
+        """Syntactic 'this expression is a set' check."""
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+                and node.func.id in SET_BUILTINS:
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in names
+        if isinstance(node, ast.Attribute) and \
+                isinstance(node.value, ast.Name) and node.value.id == "self":
+            return node.attr in attrs
+        if isinstance(node, ast.BinOp) and \
+                isinstance(node.op, (ast.BitOr, ast.BitAnd, ast.Sub)):
+            # Union/intersection/difference of sets is a set.  `&` and
+            # `-` yield a set whenever the left operand is one; `|` is
+            # also integer flag-OR, so require both sides to look set-ish.
+            left = UnorderedIterationRule._is_set_expr(
+                node.left, names, attrs)
+            if isinstance(node.op, (ast.BitAnd, ast.Sub)):
+                return left
+            return left and UnorderedIterationRule._is_set_expr(
+                node.right, names, attrs)
+        return False
+
+    # -- flagging --------------------------------------------------------------
+
+    def _flag_if_set(self, expr: ast.AST, node: ast.AST, what: str,
+                     ctx: FileContext) -> None:
+        names = getattr(ctx, "_rpl_set_names", set())
+        attrs = getattr(ctx, "_rpl_set_attrs", set())
+        if self._is_set_expr(expr, names, attrs):
+            ctx.report(self, node,
+                       f"{what} iterates a set in hash order; wrap it in "
+                       f"sorted() so replicas and replays agree")
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> None:
+        if isinstance(node, ast.For):
+            self._flag_if_set(node.iter, node, "for loop", ctx)
+        elif isinstance(node, (ast.ListComp, ast.GeneratorExp,
+                               ast.DictComp)):
+            # SetComp is deliberately exempt: a set-to-set transform
+            # cannot make the result any more order-dependent.  List,
+            # generator, and dict results all preserve iteration order,
+            # so set-sourced ones leak hash order to their consumer.
+            for gen in node.generators:
+                self._flag_if_set(gen.iter, gen.iter, "comprehension", ctx)
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in ("list", "tuple") \
+                    and len(node.args) == 1 and not node.keywords:
+                self._flag_if_set(node.args[0], node,
+                                  f"{func.id}() conversion", ctx)
+
+
+class IdKeyRule(Rule):
+    rule_id = "RPL-IDKEY"
+    title = "No id()-keyed or address-dependent logic"
+    rationale = ("id() values are memory addresses: they differ across "
+                 "replicas and replays, and are re-used after garbage "
+                 "collection, so id()-keyed maps can silently alias two "
+                 "distinct objects.  Key on a stable identity (a counter, "
+                 "a name, the object itself) instead.")
+    example = "table[id(msg)] = entry"
+    node_types = (ast.Call,)
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.config.in_protocol(ctx.rel)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> None:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "id" \
+                and len(node.args) == 1 and not node.keywords:
+            ctx.report(self, node,
+                       "id() is a memory address: unstable across "
+                       "replicas/replays and re-used after GC")
+
+
+class MutableDefaultRule(Rule):
+    rule_id = "RPL-MUTDEF"
+    title = "No mutable default arguments"
+    rationale = ("A mutable default is allocated once at import time and "
+                 "shared by every call; state accumulated in one trial "
+                 "leaks into the next, breaking replay isolation.")
+    example = "def deliver(self, queue=[]): ..."
+    node_types = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> None:
+        args = node.args
+        for default in list(args.defaults) + [d for d in args.kw_defaults
+                                              if d is not None]:
+            if self._mutable(default):
+                name = getattr(node, "name", "<lambda>")
+                ctx.report(self, default,
+                           f"mutable default argument in {name}(); use "
+                           f"None and allocate inside the function")
+
+    @staticmethod
+    def _mutable(node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.DictComp, ast.SetComp)):
+            return True
+        return (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in MUTABLE_CALL_DEFAULTS)

@@ -134,7 +134,10 @@ class AbstractStateManager(StateManager):
         # Recompute digests of modified objects (paper: the library calls
         # get_obj for objects saved by the incremental mechanism) and
         # advance their lm to this checkpoint's sequence number.
-        for index in self._dirty:
+        # Sorted: the per-object costs fold into the replica's simulated
+        # time with float addition, which is not associative — iterating
+        # in hash order would let set history skew the sum's last ULPs.
+        for index in sorted(self._dirty):
             value = self.upcalls.get_obj(index)
             self._charge_check(index, value)
             self._tree.set_leaf(index, digest(value), seq)
@@ -190,7 +193,7 @@ class AbstractStateManager(StateManager):
 
     def refresh_dirty(self) -> None:
         """Recompute stale leaf digests (cold entries charge background)."""
-        for index in list(self._stale):
+        for index in sorted(self._stale):
             value = self.upcalls.get_obj(index)
             self._charge_check(index, value)
             self._tree.set_leaf(index, digest(value),

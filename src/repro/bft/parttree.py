@@ -130,7 +130,10 @@ class PartitionTree:
             child_digests = self._digests[level + 1]
             child_lms = self._lms[level + 1]
             next_dirty = set()
-            for index in dirty_parents:
+            # Sorted: interior digests land in index order on every
+            # replica, keeping refresh cost charging and any future
+            # tracing of this path independent of set history.
+            for index in sorted(dirty_parents):
                 start = index * self.branching
                 end = min(start + self.branching, len(child_digests))
                 self._digests[level][index] = digest_many(

@@ -170,15 +170,18 @@ class ApacheLikeServer(_BaseServer):
     def __init__(self, boot_salt: int = 0):
         super().__init__()
         self._inode_counter = itertools.count(1000 + boot_salt * 7919)
-        self._inodes: Dict[int, int] = {}
-        self._changes: Dict[int, int] = {}
+        # Keyed on the resource object itself, not id(): the strong
+        # reference keeps a deleted resource's slot from being re-issued
+        # to a new object (id() re-use would alias their change
+        # counters).  Lookups only — never iterated.
+        self._inodes: Dict[_Resource, int] = {}
+        self._changes: Dict[_Resource, int] = {}
 
-    def _ids(self, resource: _Resource) -> int:
-        key = id(resource)
-        if key not in self._inodes:
-            self._inodes[key] = next(self._inode_counter)
-            self._changes[key] = 0
-        return key
+    def _ids(self, resource: _Resource) -> _Resource:
+        if resource not in self._inodes:
+            self._inodes[resource] = next(self._inode_counter)
+            self._changes[resource] = 0
+        return resource
 
     def _etag(self, resource, path):
         key = self._ids(resource)

@@ -1,0 +1,15 @@
+"""DET-CLOCK fixture: wall-clock and entropy reads."""
+
+import datetime
+import os
+import time
+import uuid
+
+
+def stamp():
+    a = time.time()
+    b = time.monotonic()
+    c = datetime.datetime.now()
+    d = uuid.uuid4()
+    e = os.urandom(4)
+    return a, b, c, d, e

@@ -1,0 +1,7 @@
+"""DET-CLOCK fixture (clean): time comes from the simulator clock."""
+
+
+def stamp(scheduler):
+    started = scheduler.now
+    deadline = started + 0.25
+    return started, deadline

@@ -1,0 +1,7 @@
+"""DET-PERF fixture (clean): durations come from simulated time."""
+
+
+def measure(scheduler, run):
+    t0 = scheduler.now
+    run()
+    return scheduler.now - t0

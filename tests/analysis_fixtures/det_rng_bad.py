@@ -1,0 +1,12 @@
+"""DET-RNG fixture: every statement here consults unseeded randomness."""
+
+import random
+import secrets
+from random import choice  # noqa: F401  (flagged: binds the global RNG)
+
+
+def draw(options):
+    first = random.choice(options)
+    rng = random.Random()
+    token = secrets.token_bytes(8)
+    return first, rng, token

@@ -1,0 +1,10 @@
+"""DET-RNG fixture (clean): all randomness is explicitly seeded."""
+
+import random
+
+
+def draw(options, seed):
+    rng = random.Random(seed)
+    first = rng.choice(options)
+    other = random.Random(seed + 1).randint(0, 7)
+    return first, other

@@ -1,0 +1,8 @@
+"""RPL-IDKEY fixture: memory addresses used as identity."""
+
+
+def register(table, resource, counter):
+    key = id(resource)
+    if key not in table:
+        table[key] = next(counter)
+    return table[key]

@@ -1,0 +1,7 @@
+"""RPL-IDKEY fixture (clean): stable identity via the object or a name."""
+
+
+def register(table, resource, counter):
+    if resource not in table:
+        table[resource] = next(counter)
+    return table[resource]

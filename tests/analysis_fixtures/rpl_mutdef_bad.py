@@ -1,0 +1,14 @@
+"""RPL-MUTDEF fixture: defaults allocated once and shared forever."""
+
+
+def enqueue(item, queue=[]):
+    queue.append(item)
+    return queue
+
+
+def configure(name, options={}, *, tags=set()):
+    options[name] = tags
+    return options
+
+
+collect = lambda acc=list(): acc  # noqa: E731

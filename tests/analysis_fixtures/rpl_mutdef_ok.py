@@ -1,0 +1,13 @@
+"""RPL-MUTDEF fixture (clean): None defaults, allocation per call."""
+
+
+def enqueue(item, queue=None):
+    queue = [] if queue is None else queue
+    queue.append(item)
+    return queue
+
+
+def configure(name, options=None, *, tags=()):
+    options = {} if options is None else options
+    options[name] = tags
+    return options

@@ -1,0 +1,17 @@
+"""RPL-SETITER fixture: hash-ordered iteration that escapes."""
+
+from typing import Set
+
+
+class Tracker:
+    def __init__(self):
+        self.pending: Set[int] = set()
+        self.done = {10, 20}
+
+    def flush(self, emit):
+        for index in self.pending:
+            emit(index)
+        ordered = list(self.done)
+        pairs = [(i, i * 2) for i in self.pending | self.done]
+        direct = tuple({1, 2, 3})
+        return ordered, pairs, direct

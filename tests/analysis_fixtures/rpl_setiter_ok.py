@@ -1,0 +1,23 @@
+"""RPL-SETITER fixture (clean): sets are sorted before order escapes.
+
+Set-to-set transforms (set comprehensions, membership, len) are fine —
+no ordering can leak from them.
+"""
+
+from typing import Set
+
+
+class Tracker:
+    def __init__(self):
+        self.pending: Set[int] = set()
+        self.done = {10, 20}
+
+    def flush(self, emit):
+        for index in sorted(self.pending):
+            emit(index)
+        ordered = sorted(self.done)
+        parents = {i // 4 for i in self.pending}  # set -> set: order-free
+        count = len(self.done)
+        present = 10 in self.done
+        rows = [row for row in [[1], [2]]]  # list iteration: ordered
+        return ordered, parents, count, present, rows

@@ -1,0 +1,10 @@
+"""SIM-BLOCK fixture: real concurrency and blocking sleeps."""
+
+import socket  # noqa: F401
+import threading  # noqa: F401
+import time
+from subprocess import run  # noqa: F401
+
+
+def wait(seconds):
+    time.sleep(seconds)

@@ -1,0 +1,5 @@
+"""SIM-BLOCK fixture (clean): waiting is a scheduled simulator event."""
+
+
+def wait(scheduler, seconds, callback):
+    scheduler.call_later(seconds, callback)

@@ -1,0 +1,7 @@
+"""SIM-IO fixture: real file I/O inside protocol code."""
+
+
+def persist(path, state, log_path):
+    with open(path, "wb") as fh:
+        fh.write(state)
+    return log_path.read_text()

@@ -1,0 +1,6 @@
+"""SIM-IO fixture (clean): replica state lives in memory."""
+
+
+def persist(store, state):
+    store["snapshot"] = bytes(state)
+    return store["snapshot"]

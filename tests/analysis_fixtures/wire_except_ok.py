@@ -1,0 +1,9 @@
+"""WIRE-EXCEPT fixture (clean): narrow catches that act or re-raise."""
+
+
+def on_prepare(replica, msg, log):
+    try:
+        replica.handle(msg)
+    except ValueError as err:
+        log.warn("rejected prepare", error=str(err))
+        raise

@@ -1,0 +1,331 @@
+"""Engine-level tests for ProtoLint: suppressions, baselines, reports,
+deterministic ordering, and the ``python -m repro.analysis`` CLI."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (Engine, Finding, SUPPRESS_RULE_ID, all_rules,
+                            select_rules)
+from repro.analysis import baseline as baselinelib
+from repro.analysis import report as reportlib
+from repro.analysis.__main__ import main
+from repro.analysis.baseline import BaselineDiff
+from repro.analysis.engine import relativize
+
+REL = "bft/fixture.py"
+
+BAD_LINE = "value = random.choice(options)\n"
+
+
+def _findings(source, rules=("DET-RNG",), rel=REL):
+    return Engine(select_rules(list(rules))).check_source(source, rel)
+
+
+# -- suppressions --------------------------------------------------------------
+
+def test_suppression_with_reason_silences_the_finding():
+    src = ("import random\n"
+           "value = random.choice(options)  "
+           "# protolint: disable=DET-RNG fixture exercises the rule\n")
+    assert _findings(src) == []
+
+
+def test_standalone_suppression_covers_the_next_line():
+    src = ("import random\n"
+           "# protolint: disable=DET-RNG covered from the line above\n"
+           + BAD_LINE)
+    assert _findings(src) == []
+
+
+def test_suppression_does_not_leak_past_the_next_line():
+    src = ("import random\n"
+           "# protolint: disable=DET-RNG only reaches line 3\n"
+           "x = 1\n"
+           + BAD_LINE)
+    findings = _findings(src)
+    assert [f.rule for f in findings] == ["DET-RNG"]
+
+
+def test_suppression_without_reason_is_itself_a_finding():
+    src = ("import random\n"
+           "value = random.choice(options)  # protolint: disable=DET-RNG\n")
+    findings = _findings(src)
+    rules = [f.rule for f in findings]
+    # The reasonless disable is rejected AND the original finding stands.
+    assert SUPPRESS_RULE_ID in rules and "DET-RNG" in rules
+    assert any("no reason" in f.message for f in findings)
+
+
+def test_suppression_of_unknown_rule_is_rejected():
+    src = ("import random\n"
+           "value = random.choice(options)  "
+           "# protolint: disable=NOT-A-RULE because reasons\n")
+    findings = _findings(src)
+    rules = [f.rule for f in findings]
+    assert SUPPRESS_RULE_ID in rules and "DET-RNG" in rules
+    assert any("unknown rule" in f.message for f in findings)
+
+
+def test_suppression_only_covers_named_rules():
+    src = ("import random, time\n"
+           "t = time.time()  # protolint: disable=DET-RNG wrong rule named\n")
+    findings = _findings(src, rules=("DET-RNG", "DET-CLOCK"))
+    assert [f.rule for f in findings] == ["DET-CLOCK"]
+
+
+def test_multi_rule_suppression():
+    src = ("import random, time\n"
+           "t = random.random() * time.time()  "
+           "# protolint: disable=DET-RNG,DET-CLOCK fixture needs both\n")
+    assert _findings(src, rules=("DET-RNG", "DET-CLOCK")) == []
+
+
+def test_malformed_protolint_comment_is_flagged():
+    src = "x = 1  # protolint: disable DET-RNG forgot the equals\n"
+    findings = _findings(src)
+    assert [f.rule for f in findings] == [SUPPRESS_RULE_ID]
+    assert "malformed" in findings[0].message
+
+
+def test_hash_inside_string_is_not_a_suppression():
+    src = ('import random\n'
+           'label = "# protolint: disable=DET-RNG not a comment"\n'
+           + BAD_LINE)
+    findings = _findings(src)
+    assert [f.rule for f in findings] == ["DET-RNG"]
+
+
+# -- baselines -----------------------------------------------------------------
+
+def _one_finding():
+    findings = _findings("import random\n" + BAD_LINE)
+    assert len(findings) == 1
+    return findings[0]
+
+
+def test_baseline_roundtrip_and_semantics(tmp_path):
+    finding = _one_finding()
+    path = tmp_path / "baseline.json"
+    baselinelib.dump([finding.fingerprint, "DET-RNG:gone.py:stale entry"],
+                     path)
+    entries = baselinelib.load(path)
+    diff = baselinelib.apply([finding], entries)
+    assert diff.new == ()                     # baselined finding passes
+    assert diff.baselined == (finding,)
+    assert diff.stale == ("DET-RNG:gone.py:stale entry",)  # warns
+
+
+def test_new_finding_is_not_masked_by_unrelated_baseline():
+    finding = _one_finding()
+    diff = baselinelib.apply([finding], ["DET-RNG:other.py:different"])
+    assert diff.new == (finding,)
+    assert diff.stale == ("DET-RNG:other.py:different",)
+
+
+def test_baseline_fingerprint_survives_line_churn():
+    a = Finding(REL, 2, 8, "DET-RNG", "message text")
+    b = Finding(REL, 99, 0, "DET-RNG", "message text")
+    assert a.fingerprint == b.fingerprint
+    assert baselinelib.apply([b], [a.fingerprint]).new == ()
+
+
+@pytest.mark.parametrize("doc", [
+    "[]",
+    '{"kind": "wrong", "schema_version": 1, "findings": []}',
+    '{"kind": "protolint_baseline", "schema_version": 99, "findings": []}',
+    '{"kind": "protolint_baseline", "schema_version": 1, "findings": [1]}',
+    '{"kind": "protolint_baseline", "schema_version": 1, '
+    '"findings": ["no-colons"]}',
+    "not json at all",
+])
+def test_invalid_baseline_files_are_rejected(tmp_path, doc):
+    path = tmp_path / "baseline.json"
+    path.write_text(doc)
+    with pytest.raises(ValueError):
+        baselinelib.load(path)
+
+
+# -- report schema -------------------------------------------------------------
+
+def _report(findings=(), baselined=(), stale=()):
+    diff = BaselineDiff(new=tuple(findings), baselined=tuple(baselined),
+                        stale=tuple(stale))
+    return reportlib.build(diff, [r.rule_id for r in all_rules()],
+                           ["src/repro"])
+
+
+def test_report_builds_and_validates():
+    finding = _one_finding()
+    doc = _report([finding], stale=("DET-RNG:gone.py:old",))
+    assert doc["ok"] is False
+    assert doc["counts"] == {"errors": 1, "warnings": 0, "baselined": 0,
+                             "stale_baseline": 1}
+    assert doc["findings"][0]["rule"] == "DET-RNG"
+    # Round-trips through JSON.
+    reportlib.validate(json.loads(json.dumps(doc)))
+    assert reportlib.finding_from_dict(doc["findings"][0]) == finding
+
+
+def test_report_ok_when_clean():
+    doc = _report()
+    assert doc["ok"] is True and doc["findings"] == []
+
+
+@pytest.mark.parametrize("mutate", [
+    lambda d: d.pop("rules"),
+    lambda d: d.__setitem__("kind", "other"),
+    lambda d: d.__setitem__("ok", "yes"),
+    lambda d: d["counts"].__setitem__("errors", -1),
+    lambda d: d["counts"].pop("baselined"),
+    lambda d: d.__setitem__("findings", [{"rule": "X"}]),
+    lambda d: d.__setitem__("rules", ["Z", "A"]),
+    lambda d: d.__setitem__("ok", False),
+])
+def test_report_schema_rejects_drift(mutate):
+    doc = _report()
+    mutate(doc)
+    with pytest.raises(ValueError):
+        reportlib.validate(doc)
+
+
+def test_report_rejects_unsorted_findings():
+    doc = _report([Finding("b.py", 1, 0, "DET-RNG", "m"),
+                   Finding("a.py", 1, 0, "DET-RNG", "m")])
+    # build() sorts, so force disorder after the fact.
+    doc["findings"].reverse()
+    with pytest.raises(ValueError):
+        reportlib.validate(doc)
+
+
+# -- deterministic ordering ----------------------------------------------------
+
+def test_findings_are_deterministically_ordered(tmp_path):
+    (tmp_path / "bft").mkdir()
+    (tmp_path / "bft" / "b.py").write_text(
+        "import random, time\n"
+        "x = random.choice([1])\n"
+        "t = time.time()\n")
+    (tmp_path / "bft" / "a.py").write_text(
+        "import random\n"
+        "y = random.random()\n")
+    engine = Engine(all_rules())
+    first = engine.run(tmp_path)
+    second = engine.run(tmp_path)
+    assert first == second
+    assert [f.path for f in first] == sorted(f.path for f in first)
+    assert first == sorted(first)
+
+
+def test_relativize_rebases_onto_the_repro_package(tmp_path):
+    root = tmp_path / "src"
+    target = root / "repro" / "bft" / "replica.py"
+    target.parent.mkdir(parents=True)
+    target.write_text("x = 1\n")
+    assert relativize(target, root) == "bft/replica.py"
+    assert relativize(target, root / "repro") == "bft/replica.py"
+    other = tmp_path / "elsewhere" / "mod.py"
+    other.parent.mkdir()
+    other.write_text("x = 1\n")
+    assert relativize(other, tmp_path) == "elsewhere/mod.py"
+
+
+# -- engine misc ---------------------------------------------------------------
+
+def test_engine_rejects_duplicate_rule_ids():
+    rule = select_rules(["DET-RNG"])[0]
+    with pytest.raises(ValueError):
+        Engine([rule, type(rule)()])
+
+
+def test_unknown_rule_selection_raises():
+    with pytest.raises(ValueError, match="NOT-A-RULE"):
+        select_rules(["NOT-A-RULE"])
+
+
+def test_syntax_error_becomes_a_finding():
+    findings = Engine(all_rules()).check_source("def broken(:\n", REL)
+    assert [f.rule for f in findings] == ["PL-SYNTAX"]
+
+
+# -- CLI -----------------------------------------------------------------------
+
+def _write_bad_tree(tmp_path):
+    pkg = tmp_path / "bft"
+    pkg.mkdir()
+    (pkg / "mod.py").write_text("import random\n" + BAD_LINE)
+    return tmp_path
+
+
+def test_cli_exits_nonzero_on_findings(tmp_path, capsys):
+    root = _write_bad_tree(tmp_path)
+    assert main([str(root)]) == 1
+    out = capsys.readouterr().out
+    assert "DET-RNG" in out and "bft/mod.py" in out
+
+
+def test_cli_json_output_validates(tmp_path, capsys):
+    root = _write_bad_tree(tmp_path)
+    out_file = tmp_path / "report.json"
+    assert main([str(root), "--format", "json",
+                 "--out", str(out_file)]) == 1
+    stdout_doc = json.loads(capsys.readouterr().out)
+    reportlib.validate(stdout_doc)
+    file_doc = json.loads(out_file.read_text())
+    reportlib.validate(file_doc)
+    assert file_doc["findings"] == stdout_doc["findings"]
+
+
+def test_cli_baseline_workflow(tmp_path, capsys):
+    root = _write_bad_tree(tmp_path)
+    baseline = tmp_path / "baseline.json"
+    # 1. Grandfather the current findings.
+    assert main([str(root), "--baseline", str(baseline),
+                 "--write-baseline"]) == 0
+    # 2. Same findings now pass, reported as baselined.
+    assert main([str(root), "--baseline", str(baseline)]) == 0
+    assert "1 baselined" in capsys.readouterr().out
+    # 3. A new violation still fails.
+    (root / "bft" / "new.py").write_text("import time\nt = time.time()\n")
+    assert main([str(root), "--baseline", str(baseline)]) == 1
+    # 4. Fixing everything leaves the baseline stale: warn, exit 0.
+    (root / "bft" / "new.py").unlink()
+    (root / "bft" / "mod.py").write_text("x = 1\n")
+    assert main([str(root), "--baseline", str(baseline)]) == 0
+    assert "stale baseline entry" in capsys.readouterr().out
+
+
+def test_cli_rule_subset(tmp_path):
+    root = _write_bad_tree(tmp_path)
+    assert main([str(root), "--rules", "DET-CLOCK"]) == 0
+    assert main([str(root), "--rules", "DET-RNG"]) == 1
+
+
+def test_cli_rejects_unknown_rule(tmp_path):
+    with pytest.raises(SystemExit):
+        main([str(tmp_path), "--rules", "BOGUS"])
+
+
+def test_cli_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in all_rules():
+        assert rule.rule_id in out
+
+
+# -- the gate itself -----------------------------------------------------------
+
+def test_src_tree_is_protolint_clean():
+    """The whole point: src/repro stays clean under the full rule set
+    (modulo the committed baseline, which starts empty)."""
+    repo = Path(__file__).resolve().parent.parent
+    engine = Engine(all_rules())
+    findings = engine.run(repo / "src" / "repro")
+    baseline_path = repo / "protolint-baseline.json"
+    entries = baselinelib.load(baseline_path)
+    diff = baselinelib.apply(findings, entries)
+    assert diff.new == (), "\n".join(f.render() for f in diff.new)
+    assert diff.stale == (), \
+        f"stale baseline entries, prune protolint-baseline.json: " \
+        f"{diff.stale}"

@@ -1,101 +1,39 @@
 """Repo-wide audit: no unseeded randomness or wall-clock reads in src/.
 
 Every simulation outcome must be a pure function of (scenario, seed) —
-that is what makes FaultLab's replay command and the shrinker sound.  So
-production code must never consult the process RNG, the wall clock, or
-the OS entropy pool.  Seeded ``random.Random(...)`` instances are fine;
-``time.perf_counter`` is allowed only in the explicitly listed
-reporting-side modules, where it measures wall time *about* a run and
-never feeds back into it.
+that is what makes FaultLab's replay command and the shrinker sound.
+The checks themselves now live in the ProtoLint rule engine
+(``repro.analysis``, rules DET-RNG / DET-CLOCK / DET-PERF); this test is
+the thin gate that runs the determinism rule set over ``src/repro`` and
+expects silence.  The self-test that the rules actually catch offenders
+lives in the per-rule fixtures under ``tests/analysis_fixtures/``
+(see ``tests/test_analysis_rules.py``); here we just spot-check the
+planted determinism fixtures end to end through the engine.
 """
 
-import ast
 from pathlib import Path
 
-SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+from repro.analysis import DETERMINISM_RULE_IDS, Engine, select_rules
 
-#: Calls through the module-level (shared, unseeded) random API.
-GLOBAL_RNG_CALLS = {
-    "random", "randint", "randrange", "choice", "choices", "shuffle",
-    "uniform", "sample", "getrandbits", "gauss", "betavariate",
-}
-
-#: Wall-clock and entropy reads that break replay determinism outright.
-FORBIDDEN = {
-    ("time", "time"),
-    ("time", "time_ns"),
-    ("time", "monotonic"),
-    ("os", "urandom"),
-    ("uuid", "uuid1"),
-    ("uuid", "uuid4"),
-}
-
-#: Modules allowed to call time.perf_counter: wall-clock *reporting*
-#: only (benchmark fallback timing; trial wall_seconds in reports).
-PERF_COUNTER_ALLOWED = {"sim/metrics.py", "faultlab/explorer.py"}
-
-
-def _module_attr(node):
-    """(module, attr) for calls like ``random.choice(...)``, else None."""
-    func = node.func
-    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
-        return (func.value.id, func.attr)
-    return None
-
-
-def audit(path):
-    rel = path.relative_to(SRC).as_posix()
-    tree = ast.parse(path.read_text(), filename=str(path))
-    problems = []
-    for node in ast.walk(tree):
-        if not isinstance(node, ast.Call):
-            continue
-        target = _module_attr(node)
-        if target is None:
-            continue
-        module, attr = target
-        where = f"{rel}:{node.lineno} {module}.{attr}"
-        if module == "random" and attr in GLOBAL_RNG_CALLS:
-            problems.append(f"{where} (unseeded global RNG)")
-        elif module == "random" and attr == "Random" and \
-                not node.args and not node.keywords:
-            problems.append(f"{where}() (unseeded Random instance)")
-        elif module == "secrets":
-            problems.append(f"{where} (OS entropy)")
-        elif module == "datetime" and attr in ("now", "utcnow", "today"):
-            problems.append(f"{where} (wall clock)")
-        elif (module, attr) in FORBIDDEN:
-            problems.append(f"{where} (wall clock / entropy)")
-        elif module == "time" and attr == "perf_counter" and \
-                rel not in PERF_COUNTER_ALLOWED:
-            problems.append(f"{where} (perf_counter outside the "
-                            f"reporting allowlist)")
-    return problems
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src" / "repro"
+FIXTURES = Path(__file__).resolve().parent / "analysis_fixtures"
 
 
 def test_src_tree_is_deterministic():
-    sources = sorted(SRC.rglob("*.py"))
-    assert sources, f"no sources under {SRC}"
-    problems = [p for path in sources for p in audit(path)]
-    assert not problems, "\n".join(problems)
+    engine = Engine(select_rules(DETERMINISM_RULE_IDS))
+    findings = engine.run(SRC)
+    assert findings == [], "\n".join(f.render() for f in findings)
 
 
-def test_the_auditor_itself_catches_offenders(tmp_path):
-    bad = tmp_path / "bad.py"
-    bad.write_text(
-        "import random, time\n"
-        "x = random.choice([1, 2])\n"
-        "r = random.Random()\n"
-        "t = time.time()\n")
-    # Point the relpath machinery at the temp tree.
-    import tests.test_determinism_audit as audit_mod
-    original = audit_mod.SRC
-    audit_mod.SRC = tmp_path
-    try:
-        problems = audit(bad)
-    finally:
-        audit_mod.SRC = original
-    assert len(problems) == 3
-    assert any("unseeded global RNG" in p for p in problems)
-    assert any("unseeded Random instance" in p for p in problems)
-    assert any("wall clock" in p for p in problems)
+def test_the_determinism_rules_catch_planted_offenders():
+    engine = Engine(select_rules(DETERMINISM_RULE_IDS))
+    by_fixture = {
+        "det_rng_bad.py": "DET-RNG",
+        "det_clock_bad.py": "DET-CLOCK",
+        "det_perf_bad.py": "DET-PERF",
+    }
+    for name, rule_id in by_fixture.items():
+        findings = engine.check_file(FIXTURES / name, rel="bft/planted.py")
+        assert findings, f"{name}: expected {rule_id} findings"
+        assert {f.rule for f in findings} == {rule_id}
