@@ -5,11 +5,13 @@ simulated seconds; this package measures how fast the simulator itself
 runs on real hardware.  It drives fixed protocol scenarios — normal-case
 f=1 batching, state transfer of a dirty tree, a proactive recovery
 round — under ``time.perf_counter`` and emits ``BENCH_<n>.json`` so that
-every perf PR has a before/after baseline.
+every perf PR has a before/after baseline.  A fourth scenario runs the
+open-loop traffic engine's load sweep and reports the max sustainable
+(simulated) req/s at a p95 SLO, plus a load-latency curve artifact.
 
 Run it from the repository root::
 
-    PYTHONPATH=src python -m benchmarks.perf --quick --out BENCH_3.json
+    PYTHONPATH=src python -m benchmarks.perf --quick --out BENCH_4.json
 
 See ``docs/PERFORMANCE.md`` for how to read the output.
 """

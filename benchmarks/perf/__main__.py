@@ -3,15 +3,22 @@
 Usage (from the repository root)::
 
     PYTHONPATH=src python -m benchmarks.perf [--quick] [--repeats N]
-                                             [--out BENCH_3.json]
+                                             [--out BENCH_4.json]
+                                             [--curve-out openloop_curve.json]
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
-from benchmarks.perf.harness import BENCH_ID, run_all, write_report
+from benchmarks.perf.harness import (
+    BENCH_ID,
+    extract_curve_artifact,
+    run_all,
+    write_report,
+)
 
 
 def main(argv=None) -> int:
@@ -20,20 +27,34 @@ def main(argv=None) -> int:
                         help="smaller scenario scales and fewer repeats "
                              "(CI smoke mode)")
     parser.add_argument("--repeats", type=int, default=None,
-                        help="override per-scenario repeat count")
+                        help="override per-scenario repeat count "
+                             "(closed-loop scenarios only)")
     parser.add_argument("--out", default=f"BENCH_{BENCH_ID}.json",
                         help="output path (default: %(default)s)")
+    parser.add_argument("--curve-out", default="openloop_curve.json",
+                        help="load-latency curve artifact path "
+                             "(default: %(default)s)")
     args = parser.parse_args(argv)
 
     report = run_all(quick=args.quick, repeats=args.repeats,
                      progress=lambda line: print(line, file=sys.stderr))
     write_report(report, args.out)
     print(f"wrote {args.out}", file=sys.stderr)
+    with open(args.curve_out, "w", encoding="utf-8") as fh:
+        json.dump(extract_curve_artifact(report), fh, indent=2,
+                  sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.curve_out}", file=sys.stderr)
     for name, data in report["scenarios"].items():
         print(f"{name:16s} {data['requests_per_sec']:10.1f} req/s "
               f"{data['events_per_sec']:12.0f} events/s "
               f"p50 {data['wall_seconds_p50'] * 1e3:8.1f} ms "
               f"p95 {data['wall_seconds_p95'] * 1e3:8.1f} ms")
+    ol = report["scenarios"]["open_loop"]
+    print(f"open_loop: max sustainable {ol['max_sustainable_req_s']:.1f} "
+          f"req/s (simulated) at p95 SLO {ol['slo_p95_seconds'] * 1e3:.1f} ms "
+          f"(knee offered {ol['knee_offered_req_s']:.1f} req/s, "
+          f"{len(ol['curve'])} sweep points)")
     return 0
 
 

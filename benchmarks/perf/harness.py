@@ -13,6 +13,14 @@ The scenarios cover the three hot paths the simulator spends its life in:
   (digest checks and per-object messages);
 - ``recovery`` — one proactive recovery round: shutdown, reboot, fetch
   and check (session-key refresh plus a full state audit).
+
+A fourth scenario, ``open_loop``, is different in kind: it runs the
+open-loop traffic engine's load-sweep controller
+(:mod:`repro.workloads.openloop`) against the same f=1 cluster and
+reports the **maximum sustainable req/s at a stated p95 SLO** — the
+knee of the latency-vs-offered-load curve — rather than a raw rate.
+The sweep is seeded and runs twice per report; the harness asserts the
+two curves are bit-identical before emitting them.
 """
 
 from __future__ import annotations
@@ -27,8 +35,8 @@ from repro.bft.statemachine import InMemoryStateManager
 from repro.harness import costs as C
 from repro.harness.cluster import Cluster, build_cluster
 
-BENCH_ID = 3
-SCHEMA_VERSION = 1
+BENCH_ID = 4
+SCHEMA_VERSION = 2
 
 put = InMemoryStateManager.op_put
 
@@ -132,6 +140,87 @@ SCENARIOS: Dict[str, tuple] = {
 }
 
 
+# -- the open-loop scenario ---------------------------------------------------
+#
+# Unlike the closed-loop scenarios above, open_loop is a *sweep*: the
+# load-sweep controller walks offered load up a geometric ladder on a
+# fresh cluster per point until the p95 SLO breaks, then refines toward
+# the knee.  Everything simulated is a pure function of OPEN_LOOP_SEED.
+
+OPEN_LOOP_SEED = 0
+OPEN_LOOP_SLO_P95 = 0.005          # seconds, applied to every class
+OPEN_LOOP_TARGET_ATTAINMENT = 0.95
+OPEN_LOOP_PROCESS = "poisson"
+#: mode -> (start_rate, factor, max_points, refine, duration_seconds)
+OPEN_LOOP_MODES = {
+    "full": (500.0, 2.0, 7, 2, 0.5),
+    "quick": (1000.0, 2.5, 5, 1, 0.2),
+}
+
+
+def run_open_loop(quick: bool, repeats: int = 2) -> Dict[str, object]:
+    """Run the seeded load sweep ``repeats`` times and report the knee.
+
+    Every repeat uses the same seed, so the simulated curves must agree
+    bit for bit — the harness asserts it, making the CI smoke job double
+    as the engine's determinism regression.  Wall-time percentiles come
+    from the repeats as usual.
+    """
+    from repro.workloads.openloop import default_kv_classes, walk_to_knee
+
+    start_rate, factor, max_points, refine, duration = \
+        OPEN_LOOP_MODES["quick" if quick else "full"]
+    classes = default_kv_classes(slo_p95=OPEN_LOOP_SLO_P95)
+    walls: List[float] = []
+    events_total = 0
+    requests_total = 0
+    curves = []
+    for _ in range(repeats):
+        clusters: List[Cluster] = []
+
+        def factory(seed: int) -> Cluster:
+            cluster = _build(seed, checkpoint_interval=16, batch_max=8)
+            clusters.append(cluster)
+            return cluster
+
+        start = time.perf_counter()
+        curve = walk_to_knee(factory, start_rate=start_rate,
+                             duration=duration, seed=OPEN_LOOP_SEED,
+                             factor=factor, max_points=max_points,
+                             refine=refine, classes=classes,
+                             target_attainment=OPEN_LOOP_TARGET_ATTAINMENT,
+                             process=OPEN_LOOP_PROCESS)
+        walls.append(time.perf_counter() - start)
+        events_total += sum(_events_run(c) for c in clusters)
+        requests_total += sum(p.completed for p in curve.points)
+        curves.append(curve.as_dict())
+    for other in curves[1:]:
+        if other != curves[0]:
+            raise RuntimeError("open_loop sweep is not deterministic: "
+                               "two repeats with the same seed disagree")
+    walls_sorted = sorted(walls)
+    total = sum(walls)
+    curve_dict = curves[0]
+    return {
+        "repeats": repeats,
+        "scale": int(duration * 1000),
+        "wall_seconds_total": total,
+        "wall_seconds_p50": _percentile(walls_sorted, 0.50),
+        "wall_seconds_p95": _percentile(walls_sorted, 0.95),
+        "events": events_total,
+        "events_per_sec": events_total / total,
+        "requests": requests_total,
+        "requests_per_sec": requests_total / total,
+        "seed": OPEN_LOOP_SEED,
+        "arrival_process": OPEN_LOOP_PROCESS,
+        "slo_p95_seconds": OPEN_LOOP_SLO_P95,
+        "target_attainment": OPEN_LOOP_TARGET_ATTAINMENT,
+        "max_sustainable_req_s": curve_dict["max_sustainable_req_s"],
+        "knee_offered_req_s": curve_dict["knee_offered_req_s"],
+        "curve": curve_dict["points"],
+    }
+
+
 # -- runner -------------------------------------------------------------------
 
 def _percentile(sorted_values: List[float], q: float) -> float:
@@ -178,6 +267,11 @@ def run_all(quick: bool = False, repeats: Optional[int] = None,
             progress(f"running {name} (repeats={repeats}, "
                      f"{'quick' if quick else 'full'}) ...")
         scenarios[name] = run_scenario(name, quick, repeats)
+    if progress:
+        progress(f"running open_loop sweep "
+                 f"({'quick' if quick else 'full'}, 2 identical-seed "
+                 f"repeats) ...")
+    scenarios["open_loop"] = run_open_loop(quick)
     return {
         "bench_id": BENCH_ID,
         "schema_version": SCHEMA_VERSION,
@@ -211,6 +305,71 @@ _SCENARIO_FIELDS = {
     "requests_per_sec": float,
 }
 
+#: Extra fields the open_loop scenario must carry on top of the common set.
+_OPEN_LOOP_FIELDS = {
+    "seed": int,
+    "arrival_process": str,
+    "slo_p95_seconds": float,
+    "target_attainment": float,
+    "max_sustainable_req_s": float,
+    "knee_offered_req_s": float,
+    "curve": list,
+}
+
+_CURVE_POINT_FIELDS = {
+    "offered_rate": float,
+    "duration": float,
+    "offered": int,
+    "completed": int,
+    "timed_out": int,
+    "shed": int,
+    "errors": int,
+    "achieved_rate": float,
+    "attainment": float,
+    "sustainable": bool,
+}
+
+
+def _validate_open_loop(data: Dict[str, object]) -> None:
+    for key, typ in _OPEN_LOOP_FIELDS.items():
+        if key not in data:
+            raise ValueError(f"open_loop missing field {key!r}")
+        value = data[key]
+        if typ is float:
+            if not isinstance(value, (int, float)) or value < 0:
+                raise ValueError(f"open_loop.{key} must be numeric >= 0")
+        elif not isinstance(value, typ):
+            raise ValueError(f"open_loop.{key} must be {typ.__name__}")
+    curve = data["curve"]
+    if not curve:
+        raise ValueError("open_loop.curve must be non-empty")
+    rates = []
+    for i, point in enumerate(curve):
+        for key, typ in _CURVE_POINT_FIELDS.items():
+            if key not in point:
+                raise ValueError(f"curve point {i} missing field {key!r}")
+            value = point[key]
+            if typ is float:
+                if not isinstance(value, (int, float)):
+                    raise ValueError(f"curve[{i}].{key} must be numeric")
+            elif not isinstance(value, typ):
+                raise ValueError(f"curve[{i}].{key} must be {typ.__name__}")
+        rates.append(point["offered_rate"])
+    if rates != sorted(rates) or len(set(rates)) != len(rates):
+        raise ValueError("open_loop.curve offered rates must be a "
+                         "strictly increasing (monotone) sweep")
+    if not any(p["sustainable"] for p in curve):
+        raise ValueError("open_loop.curve shows no sustainable point — "
+                         "lower the starting offered rate")
+    if not any(not p["sustainable"] for p in curve):
+        raise ValueError("open_loop.curve never crossed the knee — "
+                         "raise max_points or the load factor")
+    best = max((p["achieved_rate"] for p in curve if p["sustainable"]),
+               default=0.0)
+    if abs(best - data["max_sustainable_req_s"]) > 1e-9:
+        raise ValueError("open_loop.max_sustainable_req_s disagrees with "
+                         "the curve's best sustainable point")
+
 
 def validate_report(report: Dict[str, object]) -> None:
     """Raise ``ValueError`` unless ``report`` is a valid BENCH document."""
@@ -222,7 +381,7 @@ def validate_report(report: Dict[str, object]) -> None:
                              f"got {type(report[key]).__name__}")
     if report["mode"] not in ("quick", "full"):
         raise ValueError(f"mode must be quick|full, got {report['mode']!r}")
-    missing = set(SCENARIOS) - set(report["scenarios"])
+    missing = (set(SCENARIOS) | {"open_loop"}) - set(report["scenarios"])
     if missing:
         raise ValueError(f"missing scenarios: {sorted(missing)}")
     for name, data in report["scenarios"].items():
@@ -241,6 +400,27 @@ def validate_report(report: Dict[str, object]) -> None:
             raise ValueError(f"{name}: p95 below p50")
         if data["repeats"] < 1 or data["requests"] < 1:
             raise ValueError(f"{name}: repeats/requests must be positive")
+        if name == "open_loop":
+            _validate_open_loop(data)
+
+
+def extract_curve_artifact(report: Dict[str, object]) -> Dict[str, object]:
+    """The standalone load-latency curve artifact for the open_loop
+    scenario (what the CI job uploads next to the BENCH report)."""
+    data = report["scenarios"]["open_loop"]
+    return {
+        "bench_id": report["bench_id"],
+        "schema_version": report["schema_version"],
+        "mode": report["mode"],
+        "scenario": "open_loop",
+        "seed": data["seed"],
+        "arrival_process": data["arrival_process"],
+        "slo_p95_seconds": data["slo_p95_seconds"],
+        "target_attainment": data["target_attainment"],
+        "max_sustainable_req_s": data["max_sustainable_req_s"],
+        "knee_offered_req_s": data["knee_offered_req_s"],
+        "curve": data["curve"],
+    }
 
 
 def write_report(report: Dict[str, object], path: str) -> None:

@@ -58,7 +58,9 @@ class BftClient(Node):
         self._retry_timer = self.make_timer(config.client_retry_timeout,
                                             self._on_retry)
         self.requests_sent = 0
-        self.retransmissions = 0
+        self.retransmissions = 0       # timeout-driven (backoff escalates)
+        self.fast_retransmissions = 0  # instant nudges (backoff untouched)
+        self.cancelled = 0
 
     @property
     def busy(self) -> bool:
@@ -103,6 +105,12 @@ class BftClient(Node):
             self.send(self.config.primary_of(self.view_estimate), request)
 
     def _on_retry(self) -> None:
+        """Retry timeout fired: retransmit and escalate the backoff.
+
+        Only timeout-driven retransmissions advance ``call.retries`` (and
+        with it the exponential backoff and the read-only fallback);
+        instant nudges go through :meth:`_fast_retransmit`.
+        """
         call = self._pending
         if call is None:
             return
@@ -122,6 +130,37 @@ class BftClient(Node):
         timeout = self.config.client_retry_timeout * min(2 ** call.retries, 16)
         self._retry_timer.restart(timeout)
 
+    def _fast_retransmit(self) -> None:
+        """Retransmit immediately without touching the backoff schedule.
+
+        Used when the result is already certified by f+1 digests but no
+        replica delivered the full bytes: the retry timer keeps running at
+        its current deadline, ``call.retries`` stays put (so the next real
+        timeout does not double early), and a read-only request does not
+        burn one of its two attempts before the ordered fallback.
+        """
+        if self._pending is None:
+            return
+        self.fast_retransmissions += 1
+        self.tracer.metrics.inc("client.fast_retransmissions")
+        self._transmit(first=False)
+
+    def cancel(self) -> bool:
+        """Abandon the outstanding call (no callback will fire).
+
+        Open-loop drivers use this when a request blows its deadline: the
+        logical session gives up, the pool client becomes free for the
+        next arrival, and any late replies are ignored (stale request id).
+        Returns True if there was a call to abandon.
+        """
+        if self._pending is None:
+            return False
+        self._pending = None
+        self._retry_timer.stop()
+        self.cancelled += 1
+        self.tracer.metrics.inc("client.cancelled")
+        return True
+
     # -- accepting replies --------------------------------------------------------------
 
     def handle_reply(self, src, reply: Reply) -> None:
@@ -130,11 +169,16 @@ class BftClient(Node):
             return
         if src != reply.replica_id or src not in self.config.replica_ids:
             return
-        if reply.auth is not None:
-            self.charge(self.costs.auth_verify(len(reply.body())))
-            if not reply.auth.verify(self.registry, self.node_id,
-                                     reply.digest()):
-                return
+        # An unauthenticated reply proves nothing about its sender: any
+        # network party could have forged it, so it must not contribute a
+        # quorum vote (f+1 counts only hold if every vote is from a
+        # distinct authenticated replica).
+        if reply.auth is None or reply.auth.sender != src:
+            return
+        self.charge(self.costs.auth_verify(len(reply.body())))
+        if not reply.auth.verify(self.registry, self.node_id,
+                                 reply.digest()):
+            return
         if reply.result is not None:
             from repro.crypto.digest import digest
             if digest(reply.result) != reply.result_digest:
@@ -159,7 +203,7 @@ class BftClient(Node):
             # immediately — replicas resend cached replies in full.
             if not call.nudged:
                 call.nudged = True
-                self._on_retry()
+                self._fast_retransmit()
                 return
         # Tentative replies (read-only optimization): 2f+1 matching.
         for rdigest, voters in call.tentative_votes.items():

@@ -135,6 +135,25 @@ class DelayBehavior(Behavior):
         return None
 
 
+class UnauthReplyBehavior(Behavior):
+    """Sends *wrong* replies with the authenticator stripped entirely.
+
+    A client that accepts auth-less replies as quorum votes can be fooled
+    by a single faulty replica (it may impersonate many voters, or — as
+    the regression that motivated this behavior showed — have its
+    unverifiable vote counted toward f+1); a correct client must discard
+    these outright.
+    """
+
+    def corrupt_reply_result(self, result: bytes) -> bytes:
+        return b"\xfe" + result
+
+    def rewrite_outgoing(self, msg, dst):
+        if getattr(msg, "kind", None) == "reply":
+            msg.auth = None
+        return msg
+
+
 class ForgedAuthBehavior(Behavior):
     """Sends messages whose authenticators are garbage."""
 

@@ -234,6 +234,34 @@ def _build(scenario: Scenario, seed: int):
     return cluster
 
 
+# -- open-loop traffic --------------------------------------------------------------
+
+
+def _build_openloop(cluster, scenario: Scenario, ctx: TrialContext):
+    """Construct the scenario's open-loop driver (front-door traffic
+    riding alongside the closed-loop evidence clients).  Every random
+    draw comes from the trial's string-seeded streams, so open-loop
+    trials replay bit for bit like any other."""
+    from repro.workloads.openloop import (
+        OpenLoopDriver,
+        default_kv_classes,
+        make_process,
+    )
+    spec = dict(scenario.openloop)
+    rate = spec.pop("rate")
+    process = spec.pop("process", "poisson")
+    duration = spec.pop("duration", scenario.duration / 2.0)
+    slo_p95 = spec.pop("slo_p95", 0.02)
+    process_kwargs = spec.pop("process_kwargs", {})
+    proc = make_process(process, rate, ctx.rng_for("openloop:arrivals"),
+                        **process_kwargs)
+    classes = default_kv_classes(slo_p95=slo_p95,
+                                 state_size=scenario.state_size)
+    driver = OpenLoopDriver(cluster, proc, classes, seed=ctx.seed,
+                            label=f"ol-{scenario.name}", **spec)
+    return driver, duration
+
+
 # -- the trial runner ---------------------------------------------------------------
 
 
@@ -257,12 +285,17 @@ def run_trial(scenario: ScenarioRef, seed: int,
     for c in range(scenario.n_clients):
         sync = cluster.add_client(f"faultlab-c{c}")
         scripts.append(ClientScript(sync.client, workload(ctx, c)))
+    driver = openloop_duration = None
+    if scenario.openloop:
+        driver, openloop_duration = _build_openloop(cluster, scenario, ctx)
     _record_accepts(cluster, accepted)
 
     injector = FaultInjector(cluster, plan)
     injector.arm()
     for script in scripts:
         script.start()
+    if driver is not None:
+        driver.start(openloop_duration)
 
     # Chaos phase: run until the workload finishes AND every scheduled
     # fault window has at least opened (finishing early must not skip a
@@ -272,7 +305,8 @@ def run_trial(scenario: ScenarioRef, seed: int,
     scheduler = cluster.scheduler
     deadline = scenario.duration
     while scheduler.now < deadline:
-        if all(s.done for s in scripts) and scheduler.now >= horizon:
+        if all(s.done for s in scripts) and scheduler.now >= horizon \
+                and (driver is None or driver.drained):
             break
         scheduler.run_until(min(scheduler.now + 1.0, deadline))
 
@@ -297,14 +331,21 @@ def run_trial(scenario: ScenarioRef, seed: int,
     byzantine = set(plan.byzantine_replicas())
     correct_ids = [r.node_id for i, r in enumerate(cluster.replicas)
                    if i not in byzantine]
+    scripts_done = [(s.client_id, s.done) for s in scripts]
+    if driver is not None:
+        # The open-loop front door is held to the same liveness bar as
+        # the scripted clients: every arrival must resolve (complete,
+        # time out, or shed) before the trial's deadline.
+        scripts_done.append((driver.label, driver.drained))
     violations = check_all(
-        cluster, exec_log, accepted, correct_ids,
-        [(s.client_id, s.done) for s in scripts],
+        cluster, exec_log, accepted, correct_ids, scripts_done,
         scenario.expect_liveness, scenario.duration)
     return TrialResult(
         scenario=scenario.name, seed=seed, plan=plan, violations=violations,
-        issued=sum(s.issued for s in scripts),
-        accepted=sum(s.accepted for s in scripts),
+        issued=sum(s.issued for s in scripts)
+        + (driver.offered if driver is not None else 0),
+        accepted=sum(s.accepted for s in scripts)
+        + (driver.completed if driver is not None else 0),
         sim_seconds=scheduler.now,
         wall_seconds=time.perf_counter() - started,
         faults_injected=injector.injected, faults_cleared=injector.cleared)

@@ -26,6 +26,7 @@ from repro.bft.faults import (
     ForgedAuthBehavior,
     MuteBehavior,
     ReplayBehavior,
+    UnauthReplyBehavior,
     WrongReplyBehavior,
 )
 from repro.faultlab.plan import FaultPlan
@@ -36,6 +37,7 @@ BEHAVIOR_FACTORIES: Dict[str, Callable[..., Behavior]] = {
     "bad_nondet": BadNondetBehavior,
     "equivocate": EquivocatingPrimaryBehavior,
     "forged_auth": ForgedAuthBehavior,
+    "unauth_reply": UnauthReplyBehavior,
     "replay": ReplayBehavior,
     "delay": DelayBehavior,
 }

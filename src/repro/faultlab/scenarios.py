@@ -74,6 +74,13 @@ class Scenario:
     settle: float = 10.0       # simulated seconds of fault-free settling
     expect_liveness: bool = True
     in_sweep: bool = True
+    #: Optional open-loop traffic riding alongside the closed-loop
+    #: clients (see :mod:`repro.workloads.openloop`).  Keys: ``rate``
+    #: (required), ``process`` (poisson|onoff|diurnal), ``duration``,
+    #: ``slo_p95``, ``pool_size``, ``queue_limit``, ``n_users``,
+    #: ``process_kwargs``.  All randomness is drawn from the trial's
+    #: seeded RNG streams, so trials stay bit-replayable.
+    openloop: Optional[Dict[str, Any]] = None
 
 
 SCENARIOS: Dict[str, Scenario] = {}
@@ -154,7 +161,8 @@ def nfs_probe(ctx, k: int) -> Issue:
 
 # -- plan generators ---------------------------------------------------------------
 
-_BACKUP_BEHAVIORS = ("wrong_reply", "forged_auth", "mute", "replay", "delay")
+_BACKUP_BEHAVIORS = ("wrong_reply", "forged_auth", "unauth_reply", "mute",
+                     "replay", "delay")
 
 
 def _plan_byzantine_backup(rng: random.Random) -> FaultPlan:
@@ -248,6 +256,34 @@ def _plan_aging_nfs(rng: random.Random) -> FaultPlan:
                      params=(("probability", 1.0), ("seed", rng.randrange(64))),
                      stop=rot_stop),
         RecoveryFault(victim, start=round(rot_stop + 2.0, 3)),
+    ))
+
+
+def _plan_retry_storm(rng: random.Random) -> FaultPlan:
+    """A network-wide latency spike longer than the clients' retry
+    timeout: every open-loop session times out and retransmits at once,
+    and the duplicate wave hits replicas just as the spike clears."""
+    spike_start = round(rng.uniform(0.5, 1.5), 3)
+    faults = [DelaySpikeFault(round(rng.uniform(0.08, 0.2), 3),
+                              start=spike_start,
+                              stop=round(spike_start + rng.uniform(1.0, 2.5),
+                                         3))]
+    if rng.random() < 0.5:
+        faults.append(LossFault(round(rng.uniform(0.03, 0.10), 3),
+                                start=spike_start,
+                                stop=round(spike_start + 1.0, 3)))
+    return FaultPlan(tuple(faults))
+
+
+def _plan_flash_crowd(rng: random.Random) -> FaultPlan:
+    """A backup fail-stops during heavy-tailed traffic bursts; the front
+    door must keep serving the crowd with one replica down and reconverge
+    it afterwards."""
+    victim = rng.randrange(1, 4)
+    start = round(rng.uniform(0.5, 2.0), 3)
+    return FaultPlan((
+        CrashFault(victim, start=start,
+                   stop=round(start + rng.uniform(1.5, 3.0), 3)),
     ))
 
 
@@ -360,6 +396,39 @@ register_scenario(Scenario(
     state_size=32,
     duration=90.0,
     settle=20.0,
+))
+
+register_scenario(Scenario(
+    name="retry_storm",
+    description="Open-loop traffic with aggressive client retry timers "
+                "meets a latency spike longer than the timeout: a "
+                "synchronized retransmission storm that must not break "
+                "safety and must drain once the spike clears.",
+    plan=_plan_retry_storm,
+    config=dict(_FAST_CFG, client_retry_timeout=0.05),
+    n_clients=1,
+    ops_per_client=6,
+    openloop=dict(process="poisson", rate=250.0, duration=6.0,
+                  slo_p95=0.02, pool_size=8, queue_limit=64),
+    duration=30.0,
+    settle=10.0,
+))
+
+register_scenario(Scenario(
+    name="flash_crowd",
+    description="Self-similar (heavy-tailed on-off) bursts from the "
+                "million-user front door while a backup crashes and "
+                "returns: the group must absorb the crowd, shed at the "
+                "bounded queue, and reconverge the victim.",
+    plan=_plan_flash_crowd,
+    config=dict(_FAST_CFG),
+    n_clients=1,
+    ops_per_client=6,
+    openloop=dict(process="onoff", rate=300.0, duration=6.0,
+                  slo_p95=0.02, pool_size=16, queue_limit=128,
+                  process_kwargs=dict(on_fraction=0.15, mean_on=0.4)),
+    duration=30.0,
+    settle=10.0,
 ))
 
 register_scenario(Scenario(

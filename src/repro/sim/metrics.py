@@ -190,13 +190,20 @@ class Metrics:
         self.gauges.update(other.gauges)
         for name, hist in other.histograms.items():
             mine = self.histogram(name)
+            offset = mine.count
             mine.count += hist.count
             mine.sum += hist.sum
             mine.min = min(mine.min, hist.min)
             mine.max = max(mine.max, hist.max)
-            for v in hist._samples:
+            for i, v in enumerate(hist._samples):
                 if len(mine._samples) < mine._max_samples:
                     mine._samples.append(v)
+                else:
+                    # Overwrite round-robin exactly as ``observe`` does:
+                    # a full destination buffer must keep absorbing the
+                    # other registry's samples, or merged percentiles
+                    # silently ignore every late source.
+                    mine._samples[(offset + i) % mine._max_samples] = v
 
     def clear(self) -> None:
         self.counters.clear()

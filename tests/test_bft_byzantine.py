@@ -1,6 +1,11 @@
 """Byzantine replica behaviors: safety under arbitrary faults within f."""
 
-from repro.bft.faults import ForgedAuthBehavior, MuteBehavior, WrongReplyBehavior
+from repro.bft.faults import (
+    ForgedAuthBehavior,
+    MuteBehavior,
+    UnauthReplyBehavior,
+    WrongReplyBehavior,
+)
 from repro.bft.statemachine import InMemoryStateManager
 from tests.conftest import make_kv_cluster
 
@@ -78,6 +83,21 @@ def test_byzantine_client_cannot_break_replica_invariants():
     assert client2.call(get(0)) == b"good"
     states = {tuple(r.state.values) for r in cluster.replicas}
     assert len(states) == 1
+
+
+def test_unauthenticated_replies_cannot_influence_acceptance():
+    """Regression for the quorum-vote bug: a replica stripping the MAC
+    from its (wrong) replies must be treated as mute, on both the
+    ordered f+1 path and the tentative 2f+1 read-only path."""
+    cluster = make_kv_cluster(client_retry_timeout=0.3,
+                              view_change_timeout=0.5)
+    client = cluster.add_client("client0")
+    cluster.replicas[1].behavior = UnauthReplyBehavior()
+    assert client.call(put(0, b"x")) == b"ok"
+    assert client.call(get(0)) == b"x"
+    assert client.call(get(0), read_only=True) == b"x"
+    for r in (cluster.replicas[0], cluster.replicas[2], cluster.replicas[3]):
+        assert r.state.values[0] == b"x"
 
 
 def test_read_only_with_one_lying_replica():

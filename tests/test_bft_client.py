@@ -5,7 +5,19 @@ import pytest
 from repro.bft.messages import Reply
 from repro.bft.statemachine import InMemoryStateManager
 from repro.crypto.digest import digest
+from repro.crypto.mac import Authenticator
 from tests.conftest import make_kv_cluster
+
+
+def authed_reply(cluster, replica_id, client_id, request_id, result,
+                 result_digest=None, view=0):
+    """A reply carrying a *valid* MAC from ``replica_id``."""
+    reply = Reply(view, request_id, client_id, replica_id, result,
+                  result_digest if result_digest is not None
+                  else digest(result))
+    reply.auth = Authenticator.create(cluster.registry, replica_id,
+                                      [client_id], reply.digest())
+    return reply
 
 put = InMemoryStateManager.op_put
 get = InMemoryStateManager.op_get
@@ -121,3 +133,99 @@ def test_read_only_falls_back_to_ordered_path():
     assert sync.call(get(3), read_only=True) == b"fallback"
     assert cluster.clients["client0"].retransmissions >= 2
     assert cluster.tracer.find("pre_prepare_sent")
+
+
+def test_unauthenticated_replies_never_reach_a_quorum():
+    """Regression: auth-less replies used to be counted as quorum votes
+    (the MAC check was skipped when ``reply.auth is None``), so f+1
+    forged messages — free to fabricate for anyone on the network —
+    could make the client accept an arbitrary result."""
+    cluster = make_kv_cluster()
+    client = cluster.add_client("client0").client
+    box = {}
+    client.invoke(put(0, b"v"), lambda res: box.update(r=res))
+    # A full weak quorum (f+1 = 2 distinct replicas) of unauthenticated
+    # replies, complete with matching full result bytes.
+    for replica in ("replica1", "replica2"):
+        evil = Reply(0, 1, "client0", replica, b"EVIL", digest(b"EVIL"))
+        assert evil.auth is None
+        client.on_message(replica, evil)
+    assert "r" not in box
+    cluster.run_until(lambda: "r" in box)
+    assert box["r"] == b"ok"
+
+
+def test_reply_with_someone_elses_authenticator_rejected():
+    """A valid MAC from replica2 on a reply claiming to be replica1's
+    must not count as replica1's vote (one replica, one vote)."""
+    cluster = make_kv_cluster()
+    client = cluster.add_client("client0").client
+    box = {}
+    client.invoke(put(0, b"v"), lambda res: box.update(r=res))
+    for claimed in ("replica1", "replica3"):
+        evil = Reply(0, 1, "client0", claimed, b"EVIL", digest(b"EVIL"))
+        evil.auth = Authenticator.create(cluster.registry, "replica2",
+                                         ["client0"], evil.digest())
+        client.on_message(claimed, evil)
+    assert "r" not in box
+    cluster.run_until(lambda: "r" in box)
+    assert box["r"] == b"ok"
+
+
+def test_missing_full_result_nudge_does_not_escalate_backoff():
+    """Regression: the fast retransmit for a digest-certified result with
+    no full bytes used to run through ``_on_retry``, bumping
+    ``call.retries`` (doubling the next backoff), miscounting
+    ``client.retransmissions``, and burning one of a read-only request's
+    two attempts before the ordered fallback."""
+    cluster = make_kv_cluster(client_retry_timeout=0.3)
+    client = cluster.add_client("client0").client
+    box = {}
+    client.invoke(put(0, b"v"), lambda res: box.update(r=res))
+    # f+1 digest-only votes certify the result, but nobody sent bytes.
+    rdigest = digest(b"ok")
+    for replica in ("replica1", "replica2"):
+        client.on_message(replica, authed_reply(cluster, replica, "client0",
+                                                1, None, rdigest))
+    assert client.fast_retransmissions == 1
+    assert client.retransmissions == 0          # not a timeout
+    assert client._pending.retries == 0         # backoff schedule untouched
+    assert client.tracer.metrics.counter_value(
+        "client.fast_retransmissions") == 1
+    cluster.run_until(lambda: "r" in box)
+    assert box["r"] == b"ok"
+
+
+def test_timeout_backoff_escalates_exponentially():
+    """Only timeout-driven retransmissions advance the backoff: with all
+    client traffic dropped, retries land at 0.1, 0.3, 0.7, 1.5s
+    (doubling gaps), not on a fixed or double-escalated schedule."""
+    cluster = make_kv_cluster(client_retry_timeout=0.1)
+    client = cluster.add_client("client0").client
+    cluster.network.add_filter(lambda src, dst, msg: src != "client0")
+    client.invoke(put(0, b"never"), lambda res: None)
+    expected = 0
+    for horizon in (0.1, 0.3, 0.7, 1.5):
+        cluster.scheduler.run_until(horizon + 0.01)
+        expected += 1
+        assert client.retransmissions == expected
+    assert client.fast_retransmissions == 0
+
+
+def test_cancel_abandons_the_call_and_frees_the_client():
+    cluster = make_kv_cluster()
+    client = cluster.add_client("client0").client
+    box = {}
+    client.invoke(put(0, b"old"), lambda res: box.update(r=res))
+    assert client.cancel()
+    assert not client.busy
+    assert not client.cancel()                  # nothing left to abandon
+    cluster.run(1.0)                            # late replies: ignored
+    assert "r" not in box
+    assert client.cancelled == 1
+    # The pool slot is immediately reusable under a fresh request id.
+    box2 = {}
+    client.invoke(put(1, b"new"), lambda res: box2.update(r=res))
+    cluster.run_until(lambda: "r" in box2)
+    assert box2["r"] == b"ok"
+    assert "r" not in box

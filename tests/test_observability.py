@@ -146,6 +146,41 @@ def test_metrics_merge():
     assert a.histogram("lat").mean == pytest.approx(2.0)
 
 
+def test_merge_into_full_histogram_still_absorbs_samples():
+    """Regression: merge used to stop copying the other registry's
+    samples once the destination buffer was full, so merged percentiles
+    silently ignored every late source.  It must overwrite round-robin
+    exactly as ``observe`` does."""
+    a = Metrics(max_samples_per_histogram=4)
+    b = Metrics(max_samples_per_histogram=4)
+    for _ in range(4):
+        a.observe("lat", 1.0)       # destination buffer now full
+    for _ in range(4):
+        b.observe("lat", 100.0)
+    a.merge(b)
+    hist = a.histogram("lat")
+    assert hist.count == 8
+    assert hist.sum == pytest.approx(404.0)
+    assert hist.max == 100.0
+    # The buffer kept rotating: the merged percentile sees b's samples
+    # (before the fix, p95 stayed at 1.0 forever).
+    assert hist.percentile(95) == 100.0
+
+
+def test_merge_partially_full_buffer_appends_then_rotates():
+    a = Metrics(max_samples_per_histogram=4)
+    b = Metrics(max_samples_per_histogram=4)
+    for v in (1.0, 2.0):
+        a.observe("lat", v)
+    for v in (10.0, 20.0, 30.0):
+        b.observe("lat", v)
+    a.merge(b)
+    hist = a.histogram("lat")
+    assert hist.count == 5
+    assert len(hist._samples) == 4              # memory stays bounded
+    assert 30.0 in hist._samples                # the overflow wrapped in
+
+
 def test_span_measures_with_custom_clock():
     m = Metrics()
     fake = {"t": 10.0}
