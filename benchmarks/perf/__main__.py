@@ -3,7 +3,7 @@
 Usage (from the repository root)::
 
     PYTHONPATH=src python -m benchmarks.perf [--quick] [--repeats N]
-                                             [--out BENCH_4.json]
+                                             [--out BENCH_5.json]
                                              [--curve-out openloop_curve.json]
 """
 
@@ -55,6 +55,11 @@ def main(argv=None) -> int:
           f"req/s (simulated) at p95 SLO {ol['slo_p95_seconds'] * 1e3:.1f} ms "
           f"(knee offered {ol['knee_offered_req_s']:.1f} req/s, "
           f"{len(ol['curve'])} sweep points)")
+    ss = report["scenarios"]["sharded_scaling"]
+    rates = ", ".join(f"{p['shards']}sh {p['sim_req_s']:.1f}"
+                      for p in ss["sweep"])
+    print(f"sharded_scaling: {ss['scaling_factor']:.2f}x simulated req/s "
+          f"at {ss['sweep'][-1]['shards']} shards vs 1 ({rates})")
     return 0
 
 

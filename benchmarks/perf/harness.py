@@ -21,6 +21,17 @@ reports the **maximum sustainable req/s at a stated p95 SLO** — the
 knee of the latency-vs-offered-load curve — rather than a raw rate.
 The sweep is seeded and runs twice per report; the harness asserts the
 two curves are bit-identical before emitting them.
+
+A fifth scenario, ``sharded_scaling``, sweeps a
+:class:`~repro.service.sharding.ShardedDeployment` of the SQL service
+over 1 → 2 → 4 shards on one fabric, with closed-loop clients pinned to
+each shard's tables, and reports **simulated** req/s per shard count
+(completed ops over simulated seconds — the quantity sharding actually
+scales; wall time grows with shard count because one process simulates
+every group).  Like ``open_loop`` it repeats with one seed and demands
+bit-identical sweeps, using the router's per-shard rolling digest
+chains as the O(1) witness that every repeat routed and observed the
+same bytes.
 """
 
 from __future__ import annotations
@@ -35,8 +46,8 @@ from repro.bft.statemachine import InMemoryStateManager
 from repro.harness import costs as C
 from repro.harness.cluster import Cluster, build_cluster
 
-BENCH_ID = 4
-SCHEMA_VERSION = 2
+BENCH_ID = 5
+SCHEMA_VERSION = 3
 
 put = InMemoryStateManager.op_put
 
@@ -221,6 +232,154 @@ def run_open_loop(quick: bool, repeats: int = 2) -> Dict[str, object]:
     }
 
 
+# -- the sharded-scaling scenario ---------------------------------------------
+#
+# Weak-scaling sweep over ShardedDeployment: every shard carries the
+# same closed-loop load (clients x ops pinned to tables that hash to
+# it), so simulated elapsed time stays flat while completed work grows
+# with the shard count — simulated req/s should rise near-linearly.
+# The determinism gate is the whole sweep, bit for bit, including the
+# router's per-shard request-log digest chains.
+
+SHARDED_SEED = 7
+SHARD_COUNTS = (1, 2, 4)
+SHARDED_CLIENTS_PER_SHARD = 2
+#: mode -> closed-loop ops per client
+SHARDED_MODES = {"full": 20, "quick": 6}
+
+
+def _shard_tables(num_shards: int) -> List[str]:
+    """One table name per shard, in shard order (stable digest hashing)."""
+    from repro.service.sharding import stable_shard
+
+    tables: Dict[int, str] = {}
+    i = 0
+    while len(tables) < num_shards:
+        name = f"t{i}"
+        tables.setdefault(stable_shard(name, num_shards), name)
+        i += 1
+    return [tables[shard] for shard in range(num_shards)]
+
+
+def _sharded_point(num_shards: int, per_client: int) -> tuple:
+    """One sweep point: build, load every shard, audit, measure.
+
+    Returns ``(point_dict, deployment)`` where the point carries only
+    deterministic simulated quantities (safe to compare across repeats).
+    """
+    from repro.encoding.canonical import canonical
+    from repro.service.sharding import ShardedDeployment
+    from repro.sql.service import SQL_SERVICE
+
+    deployment = ShardedDeployment.build(
+        SQL_SERVICE, num_shards,
+        config=BftConfig(checkpoint_interval=16, batch_max=8),
+        network_config=C.lan_network(SHARDED_SEED),
+        replica_costs=[C.PROTOCOL_COSTS] * 4,
+        seed=SHARDED_SEED)
+    tables = _shard_tables(num_shards)
+    for table in tables:
+        deployment.client.create_table(table, ["id", "val"], "id")
+
+    done: Dict[str, int] = {}
+    drivers = []
+    for shard_index, table in enumerate(tables):
+        cluster = deployment.shards[shard_index].cluster
+        for c in range(SHARDED_CLIENTS_PER_SHARD):
+            sync = cluster.add_client(f"shard{shard_index}/loadgen{c}",
+                                      costs=C.PROTOCOL_COSTS)
+            drivers.append((sync.client, table, (c + 1) * 1_000_000))
+
+    def make_cb(client, table, base):
+        def cb(_result):
+            done[client.node_id] = done.get(client.node_id, 0) + 1
+            seq = done[client.node_id]
+            if seq < per_client:
+                client.invoke(
+                    canonical(("insert", table, (base + seq, f"w{seq}"))),
+                    cb)
+        return cb
+
+    sim_start = deployment.scheduler.now
+    for client, table, base in drivers:
+        client.invoke(canonical(("insert", table, (base, "w0"))),
+                      make_cb(client, table, base))
+    ok = deployment.scheduler.run_until_idle_or(
+        lambda: all(done.get(client.node_id, 0) >= per_client
+                    for client, _, _ in drivers))
+    if not ok:
+        raise RuntimeError(f"sharded_scaling point ({num_shards} shards) "
+                           f"did not complete")
+    sim_seconds = deployment.scheduler.now - sim_start
+    completed = sum(done.values())
+    # Audit through the router: every shard holds exactly its clients'
+    # rows (this also extends the digest chains deterministically).
+    counts = [deployment.client.row_count(table) for table in tables]
+    expected = SHARDED_CLIENTS_PER_SHARD * per_client
+    if counts != [expected] * num_shards:
+        raise RuntimeError(f"sharded_scaling audit failed: per-shard row "
+                           f"counts {counts} != {expected}")
+    point = {
+        "shards": num_shards,
+        "requests": completed,
+        "sim_seconds": sim_seconds,
+        "sim_req_s": completed / sim_seconds,
+        "ops_routed": list(deployment.router.ops_routed),
+        "shard_log": [d.hex() for d in deployment.router.shard_logs],
+    }
+    return point, deployment
+
+
+def run_sharded_scaling(quick: bool, repeats: int = 2) -> Dict[str, object]:
+    """Sweep shard counts, ``repeats`` times with one seed.
+
+    Every repeat must reproduce the sweep bit for bit — simulated
+    seconds, rates, routing counts, and the per-shard request-log
+    digest chains — so the CI smoke job doubles as the sharding
+    layer's determinism regression.
+    """
+    per_client = SHARDED_MODES["quick" if quick else "full"]
+    walls: List[float] = []
+    events_total = 0
+    requests_total = 0
+    sweeps = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        points = []
+        for num_shards in SHARD_COUNTS:
+            point, deployment = _sharded_point(num_shards, per_client)
+            points.append(point)
+            events_total += _events_run(deployment)
+            requests_total += point["requests"]
+        walls.append(time.perf_counter() - start)
+        sweeps.append(points)
+    for other in sweeps[1:]:
+        if other != sweeps[0]:
+            raise RuntimeError("sharded_scaling sweep is not deterministic: "
+                               "two repeats with the same seed disagree")
+    sweep = sweeps[0]
+    scaling = sweep[-1]["sim_req_s"] / sweep[0]["sim_req_s"]
+    walls_sorted = sorted(walls)
+    total = sum(walls)
+    return {
+        "repeats": repeats,
+        "scale": per_client,
+        "wall_seconds_total": total,
+        "wall_seconds_p50": _percentile(walls_sorted, 0.50),
+        "wall_seconds_p95": _percentile(walls_sorted, 0.95),
+        "events": events_total,
+        "events_per_sec": events_total / total,
+        "requests": requests_total,
+        "requests_per_sec": requests_total / total,
+        "seed": SHARDED_SEED,
+        "shard_counts": list(SHARD_COUNTS),
+        "clients_per_shard": SHARDED_CLIENTS_PER_SHARD,
+        "ops_per_client": per_client,
+        "scaling_factor": scaling,
+        "sweep": sweep,
+    }
+
+
 # -- runner -------------------------------------------------------------------
 
 def _percentile(sorted_values: List[float], q: float) -> float:
@@ -272,6 +431,11 @@ def run_all(quick: bool = False, repeats: Optional[int] = None,
                  f"({'quick' if quick else 'full'}, 2 identical-seed "
                  f"repeats) ...")
     scenarios["open_loop"] = run_open_loop(quick)
+    if progress:
+        progress(f"running sharded_scaling sweep over shards "
+                 f"{SHARD_COUNTS} ({'quick' if quick else 'full'}, "
+                 f"2 identical-seed repeats) ...")
+    scenarios["sharded_scaling"] = run_sharded_scaling(quick)
     return {
         "bench_id": BENCH_ID,
         "schema_version": SCHEMA_VERSION,
@@ -330,6 +494,76 @@ _CURVE_POINT_FIELDS = {
 }
 
 
+#: Extra fields the sharded_scaling scenario must carry.
+_SHARDED_FIELDS = {
+    "seed": int,
+    "shard_counts": list,
+    "clients_per_shard": int,
+    "ops_per_client": int,
+    "scaling_factor": float,
+    "sweep": list,
+}
+
+_SWEEP_POINT_FIELDS = {
+    "shards": int,
+    "requests": int,
+    "sim_seconds": float,
+    "sim_req_s": float,
+    "ops_routed": list,
+    "shard_log": list,
+}
+
+#: The headline claim BENCH_5 exists to witness: at the top of the
+#: sweep (4 shards vs 1) simulated throughput must scale at least 3x.
+SHARDED_MIN_SCALING = 3.0
+
+
+def _validate_sharded_scaling(data: Dict[str, object]) -> None:
+    for key, typ in _SHARDED_FIELDS.items():
+        if key not in data:
+            raise ValueError(f"sharded_scaling missing field {key!r}")
+        value = data[key]
+        if typ is float:
+            if not isinstance(value, (int, float)) or value < 0:
+                raise ValueError(f"sharded_scaling.{key} must be "
+                                 f"numeric >= 0")
+        elif not isinstance(value, typ):
+            raise ValueError(f"sharded_scaling.{key} must be {typ.__name__}")
+    sweep = data["sweep"]
+    if not sweep:
+        raise ValueError("sharded_scaling.sweep must be non-empty")
+    for i, point in enumerate(sweep):
+        for key, typ in _SWEEP_POINT_FIELDS.items():
+            if key not in point:
+                raise ValueError(f"sweep point {i} missing field {key!r}")
+            value = point[key]
+            if typ is float:
+                if not isinstance(value, (int, float)):
+                    raise ValueError(f"sweep[{i}].{key} must be numeric")
+            elif not isinstance(value, typ):
+                raise ValueError(f"sweep[{i}].{key} must be {typ.__name__}")
+        if len(point["shard_log"]) != point["shards"]:
+            raise ValueError(f"sweep[{i}]: expected one request-log digest "
+                             f"per shard")
+        if point["sim_req_s"] <= 0 or point["sim_seconds"] <= 0:
+            raise ValueError(f"sweep[{i}]: simulated rate must be positive")
+    shards = [point["shards"] for point in sweep]
+    if shards != sorted(set(shards)) or shards[0] != 1:
+        raise ValueError("sharded_scaling.sweep must walk strictly "
+                         "increasing shard counts starting at 1")
+    if shards != data["shard_counts"]:
+        raise ValueError("sharded_scaling.shard_counts disagrees with "
+                         "the sweep")
+    scaling = sweep[-1]["sim_req_s"] / sweep[0]["sim_req_s"]
+    if abs(scaling - data["scaling_factor"]) > 1e-9:
+        raise ValueError("sharded_scaling.scaling_factor disagrees with "
+                         "the sweep's endpoint rates")
+    if scaling < SHARDED_MIN_SCALING:
+        raise ValueError(f"sharded_scaling: {shards[-1]} shards delivered "
+                         f"only {scaling:.2f}x the 1-shard simulated "
+                         f"req/s (need >= {SHARDED_MIN_SCALING}x)")
+
+
 def _validate_open_loop(data: Dict[str, object]) -> None:
     for key, typ in _OPEN_LOOP_FIELDS.items():
         if key not in data:
@@ -381,7 +615,8 @@ def validate_report(report: Dict[str, object]) -> None:
                              f"got {type(report[key]).__name__}")
     if report["mode"] not in ("quick", "full"):
         raise ValueError(f"mode must be quick|full, got {report['mode']!r}")
-    missing = (set(SCENARIOS) | {"open_loop"}) - set(report["scenarios"])
+    missing = ((set(SCENARIOS) | {"open_loop", "sharded_scaling"})
+               - set(report["scenarios"]))
     if missing:
         raise ValueError(f"missing scenarios: {sorted(missing)}")
     for name, data in report["scenarios"].items():
@@ -402,6 +637,8 @@ def validate_report(report: Dict[str, object]) -> None:
             raise ValueError(f"{name}: repeats/requests must be positive")
         if name == "open_loop":
             _validate_open_loop(data)
+        elif name == "sharded_scaling":
+            _validate_sharded_scaling(data)
 
 
 def extract_curve_artifact(report: Dict[str, object]) -> Dict[str, object]:

@@ -39,7 +39,9 @@ def build_base_cluster(wrapper_factories: Sequence[Callable[[], Upcalls]],
                        costs: CostModel = ZERO_COSTS,
                        replica_costs: Optional[List[CostModel]] = None,
                        tracer: Optional[Tracer] = None,
-                       seed: int = 0) -> Cluster:
+                       seed: int = 0,
+                       scheduler=None,
+                       network=None) -> Cluster:
     """Build a replicated service from per-replica conformance wrappers."""
     config = config or BftConfig(n=len(wrapper_factories))
     if len(wrapper_factories) != config.n:
@@ -60,7 +62,7 @@ def build_base_cluster(wrapper_factories: Sequence[Callable[[], Upcalls]],
     cluster = build_cluster(make_state, config=config,
                             network_config=network_config, costs=costs,
                             replica_costs=replica_costs, tracer=tracer,
-                            seed=seed)
+                            seed=seed, scheduler=scheduler, network=network)
     # Wire CPU charging from wrappers through to their replica.  The
     # recovery check pass accounts its CPU to the recovery manager (it
     # overlaps fetch round-trips) rather than stalling the protocol.

@@ -204,7 +204,26 @@ def _record_accepts(cluster, accepted: List[AcceptedReply]) -> None:
 # -- cluster construction -----------------------------------------------------------
 
 
+@dataclass
+class ShardedTrial:
+    """The sharded side of a trial: the deployment plus the recorded
+    group-boundary crossings (must stay empty — co-tenant BASE groups
+    share a fabric but may never exchange a message)."""
+
+    deployment: Any
+    crossings: List
+
+
 def _build(scenario: Scenario, seed: int):
+    """Build the trial's system.
+
+    Returns ``(cluster, sharded)``: the cluster the faults and evidence
+    instrumentation target, and a :class:`ShardedTrial` when the
+    scenario runs ``shards > 1`` co-tenant groups (``None`` otherwise —
+    then ``cluster`` is the whole system).  In the sharded case the
+    returned cluster is shard 0's, so the plan's replica indices fault
+    that one group and every other shard stays a clean control.
+    """
     from repro.bft.config import BftConfig
     from repro.sim.network import LinkConfig, NetworkConfig
 
@@ -217,7 +236,7 @@ def _build(scenario: Scenario, seed: int):
         return build_cluster(
             lambda i: InMemoryStateManager(size=scenario.state_size,
                                            branching=scenario.branching),
-            config=config, network_config=network_config, seed=seed)
+            config=config, network_config=network_config, seed=seed), None
     from repro.service.deploy import build_replicated
     from repro.service.registry import get_service
     definition = get_service(scenario.service)
@@ -228,10 +247,67 @@ def _build(scenario: Scenario, seed: int):
     if scenario.service == "nfs":
         from repro.nfs.spec import AbstractSpecConfig
         options["spec"] = AbstractSpecConfig(array_size=scenario.state_size)
+    if scenario.shards > 1:
+        from repro.service.sharding import ShardedDeployment
+        deployment = ShardedDeployment.build(
+            definition, scenario.shards, config=config,
+            network_config=network_config, seed=seed, **options)
+        crossings: List = []
+
+        def watch(src, dst, msg):
+            # Observe without dropping: a message whose endpoints carry
+            # different shard prefixes crossed a group boundary.
+            groups = {str(end).split("/", 1)[0] for end in (src, dst)
+                      if str(end).startswith("shard")}
+            if len(groups) > 1:
+                crossings.append((src, dst))
+            return True
+
+        deployment.network.add_filter(watch)
+        return (deployment.shards[0].cluster,
+                ShardedTrial(deployment, crossings))
     cluster, _facade = build_replicated(definition, config=config,
                                         network_config=network_config,
                                         seed=seed, **options)
-    return cluster
+    return cluster, None
+
+
+def _primary_cut(plan: FaultPlan) -> bool:
+    """Did the plan cut off (partition or crash) the view-0 primary?"""
+    for fault in plan:
+        if fault.kind == "partition" and 0 in fault.replicas:
+            return True
+        if fault.kind == "crash" and fault.replica == 0:
+            return True
+    return False
+
+
+def _check_sharded(sharded: ShardedTrial, plan: FaultPlan) -> List[Violation]:
+    """The sharded-trial invariants, on top of the standard suite (which
+    judges the faulted shard): isolation between co-tenant groups, the
+    healthy shards' quiescence, and — when the plan cut off the faulted
+    shard's view-0 primary — that the view change actually happened."""
+    violations: List[Violation] = []
+    if sharded.crossings:
+        violations.append(Violation(
+            "shard_isolation",
+            f"{len(sharded.crossings)} messages crossed group boundaries "
+            f"(first: {sharded.crossings[:3]})"))
+    for i, shard in enumerate(sharded.deployment.shards[1:], start=1):
+        views = sorted({r.view for r in shard.cluster.replicas})
+        if views != [0]:
+            violations.append(Violation(
+                "shard_quiescence",
+                f"co-tenant shard {i} left view 0 (views={views}) with no "
+                f"fault injected there"))
+    faulted = sharded.deployment.shards[0].cluster
+    if _primary_cut(plan) and not any(r.view > 0
+                                      for r in faulted.replicas):
+        violations.append(Violation(
+            "shard_view_change",
+            "the faulted shard's view-0 primary was cut off but the group "
+            "never completed a view change"))
+    return violations
 
 
 # -- open-loop traffic --------------------------------------------------------------
@@ -274,7 +350,7 @@ def run_trial(scenario: ScenarioRef, seed: int,
     ctx = TrialContext(scenario, seed)
     if plan is None:
         plan = scenario.plan(ctx.rng_for("plan"))
-    cluster = _build(scenario, seed)
+    cluster, sharded = _build(scenario, seed)
 
     exec_log: ExecutionLog = {}
     accepted: List[AcceptedReply] = []
@@ -285,6 +361,13 @@ def run_trial(scenario: ScenarioRef, seed: int,
     for c in range(scenario.n_clients):
         sync = cluster.add_client(f"faultlab-c{c}")
         scripts.append(ClientScript(sync.client, workload(ctx, c)))
+    if sharded is not None:
+        # Co-tenant shards carry their own closed-loop traffic: their
+        # completion is the liveness half of the isolation claim.
+        for i, shard in enumerate(sharded.deployment.shards[1:], start=1):
+            sync = shard.cluster.add_client(f"faultlab-s{i}c0")
+            scripts.append(ClientScript(
+                sync.client, workload(ctx, scenario.n_clients + i)))
     driver = openloop_duration = None
     if scenario.openloop:
         driver, openloop_duration = _build_openloop(cluster, scenario, ctx)
@@ -340,6 +423,8 @@ def run_trial(scenario: ScenarioRef, seed: int,
     violations = check_all(
         cluster, exec_log, accepted, correct_ids, scripts_done,
         scenario.expect_liveness, scenario.duration)
+    if sharded is not None:
+        violations.extend(_check_sharded(sharded, plan))
     return TrialResult(
         scenario=scenario.name, seed=seed, plan=plan, violations=violations,
         issued=sum(s.issued for s in scripts)

@@ -74,6 +74,11 @@ class Scenario:
     settle: float = 10.0       # simulated seconds of fault-free settling
     expect_liveness: bool = True
     in_sweep: bool = True
+    #: >1 builds a ShardedDeployment of ``service``: the fault plan is
+    #: injected into shard 0 only, co-tenant shards carry their own
+    #: workload, and the trial additionally checks shard isolation (see
+    #: the sharded checks in :mod:`repro.faultlab.explorer`).
+    shards: int = 1
     #: Optional open-loop traffic riding alongside the closed-loop
     #: clients (see :mod:`repro.workloads.openloop`).  Keys: ``rate``
     #: (required), ``process`` (poisson|onoff|diurnal), ``duration``,
@@ -145,6 +150,19 @@ def nfs_workload(ctx, client_index: int) -> Iterator[Issue]:
             yield Issue(canonical(("getattr", oids[-1])), read_only=True)
 
 
+def sql_workload(ctx, client_index: int) -> Iterator[Issue]:
+    """Table traffic through the registered SQL service: each client
+    owns one table — create it, fill it, read it back."""
+    from repro.encoding.canonical import canonical
+    table = f"t{client_index}"
+    yield Issue(canonical(("create_table", table, ("id", "val"), "id")))
+    for i in range(ctx.scenario.ops_per_client - 1):
+        if i % 3 == 2:
+            yield Issue(canonical(("select", table, i - 1)), read_only=True)
+        else:
+            yield Issue(canonical(("insert", table, (i, f"v{i}"))))
+
+
 def kv_probe(ctx, k: int) -> Issue:
     """One harmless kv mutation for the post-quiesce convergence burst."""
     from repro.bft.statemachine import InMemoryStateManager
@@ -157,6 +175,12 @@ def nfs_probe(ctx, k: int) -> Issue:
     from repro.nfs.spec import ROOT_OID
     return Issue(canonical(("create", ROOT_OID, f"probe-{k}",
                             (0o644, 0, 0, -1, -1, -1))))
+
+
+def sql_probe(ctx, k: int) -> Issue:
+    """One harmless table creation for the post-quiesce convergence burst."""
+    from repro.encoding.canonical import canonical
+    return Issue(canonical(("create_table", f"probe{k}", ("id",), "id")))
 
 
 # -- plan generators ---------------------------------------------------------------
@@ -285,6 +309,21 @@ def _plan_flash_crowd(rng: random.Random) -> FaultPlan:
         CrashFault(victim, start=start,
                    stop=round(start + rng.uniform(1.5, 3.0), 3)),
     ))
+
+
+def _plan_shard_primary_partition(rng: random.Random) -> FaultPlan:
+    """Cut shard 0's view-0 primary off for a window: the faulted group
+    must view-change and reconverge while its co-tenant shards (same
+    scheduler, same network) never notice.
+
+    The window opens within the first couple of simulated milliseconds —
+    while the workload is in flight — so client retries actually hit the
+    dead primary and force the view change (a later window would open
+    onto an idle group and nothing would time out).
+    """
+    start = round(rng.uniform(0.0, 0.002), 4)
+    stop = round(start + rng.uniform(1.5, 3.0), 3)
+    return FaultPlan((PartitionFault((0,), start=start, stop=stop),))
 
 
 def _plan_beyond_f_wrong_reply(rng: random.Random) -> FaultPlan:
@@ -429,6 +468,24 @@ register_scenario(Scenario(
                   process_kwargs=dict(on_fraction=0.15, mean_on=0.4)),
     duration=30.0,
     settle=10.0,
+))
+
+register_scenario(Scenario(
+    name="shard_view_change",
+    description="Two co-tenant SQL shards on one fabric; shard 0's "
+                "view-0 primary is partitioned away.  The faulted group "
+                "must view-change and reconverge; the healthy shard must "
+                "stay in view 0 and exchange zero messages with it.",
+    plan=_plan_shard_primary_partition,
+    config=dict(_FAST_CFG),
+    service="sql",
+    workload=sql_workload,
+    probe=sql_probe,
+    shards=2,
+    n_clients=1,
+    ops_per_client=8,
+    duration=60.0,
+    settle=15.0,
 ))
 
 register_scenario(Scenario(

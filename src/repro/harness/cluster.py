@@ -77,16 +77,29 @@ def build_cluster(make_state: Callable[[int], StateManager],
                   costs: CostModel = ZERO_COSTS,
                   replica_costs: Optional[List[CostModel]] = None,
                   tracer: Optional[Tracer] = None,
-                  seed: int = 0) -> Cluster:
+                  seed: int = 0,
+                  scheduler: Optional[Scheduler] = None,
+                  network: Optional[Network] = None) -> Cluster:
     """Construct a replication group.
 
     ``make_state(i)`` builds the state manager for replica ``i`` — passing
     distinct factories per index is exactly how the heterogeneous (N-version)
     setups are built.
+
+    Passing an existing ``scheduler``/``network`` lets several groups
+    share one simulation fabric (the sharded deployments): each group
+    keeps its own key registry and tracer, but clocks, links, and event
+    ordering are common.  When ``network`` is given it must ride the
+    given ``scheduler`` and ``network_config`` is ignored.
     """
     config = config or BftConfig()
-    scheduler = Scheduler()
-    network = Network(scheduler, network_config or NetworkConfig(seed=seed))
+    if network is not None and scheduler is None:
+        scheduler = network.scheduler
+    scheduler = scheduler or Scheduler()
+    if network is None:
+        network = Network(scheduler, network_config or NetworkConfig(seed=seed))
+    elif network.scheduler is not scheduler:
+        raise ValueError("network rides a different scheduler")
     registry = KeyRegistry()
     tracer = tracer or Tracer()
     # Spans and phase observations measure *simulated* time.

@@ -22,6 +22,7 @@ from repro.service.deploy import (
     DirectService,
     DirectServiceServer,
     ServiceDefinition,
+    ShardKeySpec,
     WrapperContext,
     build_replicated,
     build_unreplicated,
@@ -109,6 +110,16 @@ def _make_direct(ctx: WrapperContext) -> DirectService:
     return DirectService(backend=server, handler=handler)
 
 
+def _shard_key(decoded: tuple):
+    # Partition the URL space by top path segment (the per-site prefix
+    # under a mass-hosting layout); the root collection itself lives on
+    # the "" key's shard.
+    if len(decoded) >= 2 and isinstance(decoded[1], str):
+        stripped = decoded[1].strip("/")
+        return stripped.split("/", 1)[0]
+    return None
+
+
 HTTP_SERVICE = register(ServiceDefinition(
     name="http",
     make_wrapper=_make_wrapper,
@@ -116,6 +127,7 @@ HTTP_SERVICE = register(ServiceDefinition(
     make_direct=_make_direct,
     default_backends=(NginxLikeServer,) * 4,
     branching=16,
+    shard_key=ShardKeySpec(extract=_shard_key, axis="top path segment"),
 ))
 
 

@@ -33,7 +33,9 @@ from repro.service.deploy import (
     Channel,
     DirectService,
     DirectServiceServer,
+    LearnedKey,
     ServiceDefinition,
+    ShardKeySpec,
     WrapperContext,
     build_replicated,
     build_unreplicated,
@@ -216,6 +218,52 @@ def _make_direct(ctx: WrapperContext) -> DirectService:
     return DirectService(backend=backend, handler=_direct_handler(backend))
 
 
+#: Wire-arg index of the second file handle, for the one proc with two.
+_SECOND_FH = {"rename": 2}
+
+#: Procs whose success reply mints a file handle (``(0, fh, fattr)``)
+#: that must be pinned to the answering shard.
+_MINTING_PROCS = frozenset(("lookup", "create", "mkdir", "symlink"))
+
+
+def _nfs_shard_key(decoded: tuple):
+    """Partition the namespace by top-level subtree.
+
+    The mount handle (the abstract root oid) is common to every shard —
+    each group holds its own root directory.  A root-directory op routes
+    by the entry *name* it touches (the subtree key); ops on any other
+    handle route by the pin learned when that handle was minted, because
+    shards allocate oids independently and identical handle bytes can
+    name different files in different shards.
+    """
+    from repro.nfs.spec import ROOT_OID
+    proc, *args = decoded
+    positions = [0] + ([_SECOND_FH[proc]] if proc in _SECOND_FH else [])
+    keys = []
+    for pos in positions:
+        if pos >= len(args) or not isinstance(args[pos], bytes):
+            continue
+        fh = args[pos]
+        if fh == ROOT_OID:
+            name = args[pos + 1] if pos + 1 < len(args) else None
+            if isinstance(name, str):
+                keys.append(("subtree", name))
+            # A nameless root op (readdir, statfs, getattr of the root)
+            # contributes no key: it rides to the home shard.
+        else:
+            keys.append(LearnedKey(fh))
+    if not keys:
+        return None
+    return keys if len(keys) > 1 else keys[0]
+
+
+def _nfs_learn(decoded: tuple, reply: tuple):
+    if (decoded[0] in _MINTING_PROCS and len(reply) >= 2
+            and reply[0] == 0 and isinstance(reply[1], bytes)):
+        return (reply[1],)
+    return ()
+
+
 NFS_SERVICE = register(ServiceDefinition(
     name="nfs",
     make_wrapper=_make_wrapper,
@@ -225,6 +273,8 @@ NFS_SERVICE = register(ServiceDefinition(
     default_backends=(LinuxExt2Backend,) * 4,
     branching=64,
     direct_client_id="nfs-client",
+    shard_key=ShardKeySpec(extract=_nfs_shard_key, learn=_nfs_learn,
+                           axis="top-level subtree"),
 ))
 
 

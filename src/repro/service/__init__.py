@@ -10,11 +10,16 @@ kernel:
   over :class:`~repro.base.upcalls.Upcalls` with declarative ``@op``
   registration (dispatch table built at class-definition time), uniform
   read-only gating, canonical error envelopes, malformed-request
-  handling, and shared shutdown/restart persistence of the conformance
-  representation;
-- :mod:`repro.service.deploy` — one replicated and one unreplicated
-  deployment code path (channels, direct-server node, builders) that the
-  per-service ``build_*`` functions are thin declarations over;
+  handling, shared shutdown/restart persistence of the conformance
+  representation, and the ``__prepare__``/``__commit__``/``__abort__``
+  transaction meta-ops behind cross-shard atomic commit;
+- :mod:`repro.service.deploy` — composable :class:`Deployment` objects
+  (replicated, unreplicated) over a declarative
+  :class:`ServiceDefinition`, with the legacy tuple-returning builders
+  kept as thin shims;
+- :mod:`repro.service.sharding` — :class:`ShardedDeployment`: N
+  independent BASE groups on one simulation fabric behind the
+  deterministic :class:`ShardRouter` (see ``docs/SHARDING.md``);
 - :mod:`repro.service.registry` — the :class:`ServiceRegistry` mapping
   service names to their :class:`~repro.service.deploy.ServiceDefinition`;
 - :mod:`repro.service.conformance` — the cross-service conformance
@@ -27,33 +32,68 @@ Adding a backend is now a wrapper subclass plus one registration; see
 
 from repro.service.kernel import AbstractService, OpSpec, op
 from repro.service.deploy import (
+    BROADCAST,
+    Broadcast,
     Channel,
+    Deployment,
     DirectChannel,
     DirectService,
     DirectServiceServer,
+    LearnedKey,
     ReplicatedChannel,
+    ReplicatedDeployment,
     ServiceDefinition,
+    ShardKeySpec,
+    UnreplicatedDeployment,
     WrapperContext,
     build_replicated,
     build_unreplicated,
 )
-from repro.service.registry import ServiceRegistry, get_service, register, service_names
+from repro.service.sharding import (
+    CrossShardOp,
+    RoutingError,
+    ShardRouter,
+    ShardedDeployment,
+    TxnAborted,
+    stable_shard,
+)
+from repro.service.registry import (
+    ServiceRegistry,
+    get_service,
+    load_all,
+    register,
+    service_names,
+)
 
 __all__ = [
     "AbstractService",
+    "BROADCAST",
+    "Broadcast",
     "Channel",
+    "CrossShardOp",
+    "Deployment",
     "DirectChannel",
     "DirectService",
     "DirectServiceServer",
+    "LearnedKey",
     "OpSpec",
     "ReplicatedChannel",
+    "ReplicatedDeployment",
+    "RoutingError",
     "ServiceDefinition",
     "ServiceRegistry",
+    "ShardKeySpec",
+    "ShardRouter",
+    "ShardedDeployment",
+    "TxnAborted",
+    "UnreplicatedDeployment",
     "WrapperContext",
     "build_replicated",
     "build_unreplicated",
     "get_service",
+    "load_all",
     "op",
     "register",
     "service_names",
+    "stable_shard",
 ]

@@ -199,6 +199,47 @@ def check_restart_survival(probe: ServiceProbe) -> None:
     driver.ok(*probe.post_restart_op)
 
 
+def check_txn_framing(probe: ServiceProbe) -> None:
+    """The kernel's two-phase meta-ops frame a sub-op without changing
+    its semantics: prepare + commit yields byte-identical replies and an
+    identical abstract state to direct execution, while refused votes,
+    aborts, and read-only-path commits have zero abstract-state effect.
+    """
+    from repro.service.kernel import TXN_TAG
+    framed, direct = probe.pair()
+    probe.workload(framed)
+    probe.workload(direct)
+    sub = canonical(probe.mutating_op)
+    reply = framed.op("__prepare__", "txn-1", (sub,))
+    assert reply[:2] == (TXN_TAG, "prepared"), \
+        f"{probe.name}: prepare vote failed: {reply!r}"
+    # Advance the direct driver's clock past an op with no state effect,
+    # so the sub-op executes under the same agreed timestamp on both.
+    direct.raw(canonical(("__no_such_op__",)))
+    commit = framed.op("__commit__", "txn-1", (sub,))
+    assert commit[:2] == (TXN_TAG, "committed"), \
+        f"{probe.name}: commit failed: {commit!r}"
+    assert commit[3][0] == direct.raw(sub), \
+        f"{probe.name}: framed sub-op reply differs from direct execution"
+    assert framed.snapshot() == direct.snapshot(), \
+        f"{probe.name}: framed sub-op left a different abstract state"
+    # Refusals, aborts, abandoned prepares: all state-neutral.
+    before = framed.snapshot()
+    refused = framed.op("__prepare__", "txn-2",
+                        (canonical(("__no_such_op__",)),))
+    assert refused[:2] == (TXN_TAG, "refused"), \
+        f"{probe.name}: prepared an undispatchable sub-op: {refused!r}"
+    framed.op("__prepare__", "txn-3", (sub,))
+    aborted = framed.op("__abort__", "txn-3")
+    assert aborted[:2] == (TXN_TAG, "aborted"), \
+        f"{probe.name}: abort failed: {aborted!r}"
+    gated = framed.op("__commit__", "txn-4", (sub,), read_only=True)
+    assert gated[:2] == (TXN_TAG, "read_only"), \
+        f"{probe.name}: read-only path accepted a commit: {gated!r}"
+    assert framed.snapshot() == before, \
+        f"{probe.name}: a non-committing meta-op changed abstract state"
+
+
 #: The battery, in the order the checks are usually discussed.
 BATTERY: Tuple[Callable[[ServiceProbe], None], ...] = (
     check_round_trip,
@@ -206,6 +247,7 @@ BATTERY: Tuple[Callable[[ServiceProbe], None], ...] = (
     check_read_only_rejection,
     check_malformed_ops,
     check_restart_survival,
+    check_txn_framing,
 )
 
 

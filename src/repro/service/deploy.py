@@ -1,4 +1,4 @@
-"""One replicated and one unreplicated deployment code path.
+"""Composable deployments of a registered service.
 
 Each service used to carry a near-identical ``build_base_*`` /
 ``build_*_std`` pair: the replicated builder wired wrapper factories
@@ -6,20 +6,31 @@ into :func:`~repro.base.library.build_base_cluster` and wrapped a
 :class:`~repro.bft.client.SyncClient`; the baseline builder stood up a
 scheduler, a network, a request/response server node, and a client node
 with its own nonce/mailbox plumbing.  This module implements both paths
-once over a declarative :class:`ServiceDefinition`; the per-service
-``build_*`` functions are thin registrations (see the ``service.py``
-module of each service).
+once, as first-class :class:`Deployment` objects over a declarative
+:class:`ServiceDefinition`:
 
-Clients talk to either deployment through a :class:`Channel` — ``call``
+- :class:`ReplicatedDeployment` — one BASE group (four conformance
+  wrappers behind the BFT library) plus its service client;
+- :class:`UnreplicatedDeployment` — the paper's unreplicated baseline;
+- :class:`~repro.service.sharding.ShardedDeployment` — N independent
+  replicated groups on one simulation fabric behind a deterministic
+  shard router (see :mod:`repro.service.sharding`).
+
+The legacy ``build_replicated``/``build_unreplicated`` functions remain
+as thin shims returning the historical tuples, so the per-service
+``build_*`` registrations and every existing caller keep working.
+
+Clients talk to any deployment through a :class:`Channel` — ``call``
 one canonical-encoded op, ``charge`` client CPU, read ``now`` — so each
 service defines a single client class that is oblivious to whether it is
-driving four replicas or one plain server.
+driving four replicas, one plain server, or N sharded groups.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Type
+from typing import (Any, Callable, Dict, Iterable, List, Optional, Sequence,
+                    Tuple, Type)
 
 from repro.base.library import BaseServiceConfig, build_base_cluster
 from repro.base.upcalls import Upcalls
@@ -30,6 +41,7 @@ from repro.harness.cluster import Cluster
 from repro.sim.network import Network, NetworkConfig
 from repro.sim.node import Node
 from repro.sim.scheduler import Scheduler
+from repro.sim.tracing import Tracer
 
 
 class Channel:
@@ -140,6 +152,58 @@ class DirectService:
     wire: Optional[Callable[[DirectServiceServer], None]] = None
 
 
+class Broadcast:
+    """Shard-key sentinel: the op must reach *every* shard (e.g. Thor
+    session management); replies must agree and one is returned."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "Broadcast"
+
+
+BROADCAST = Broadcast()
+
+
+@dataclass(frozen=True)
+class LearnedKey:
+    """A key routable only through a pin learned from an earlier reply.
+
+    Service-minted identifiers (NFS file handles) are allocated
+    independently by each shard, so identical bytes can name different
+    objects in different shards — stable-hash fallback would route them
+    arbitrarily.  Wrapping the key forces the router to consult its pin
+    table and fail deterministically when no pin exists.
+    """
+
+    value: Any
+
+
+@dataclass
+class ShardKeySpec:
+    """How a service's abstract state partitions across shards.
+
+    ``extract`` maps a decoded wire-op tuple to its shard key(s):
+
+    - a single hashable key — route to ``stable_hash(key) % shards``
+      (or to a pinned shard, see ``learn``);
+    - ``None`` — no partitionable key; route to the home shard 0
+      (registry-style ops like SQL ``tables``);
+    - :data:`BROADCAST` — deliver to every shard (session management);
+    - a ``list`` of keys — the op touches several keys; if they resolve
+      to different shards the router refuses with
+      :class:`~repro.service.sharding.CrossShardOp` (callers use the
+      two-phase ``cross_shard_call`` instead).
+
+    ``learn`` (optional) maps (decoded op, decoded reply) to keys that
+    are *pinned* to the shard that answered — how NFS binds the file
+    handles a shard mints to that shard's subtree.
+    """
+
+    extract: Callable[[tuple], Any]
+    learn: Optional[Callable[[tuple, tuple], Iterable[Any]]] = None
+    #: Human-readable description of the partitioning axis (docs/UI).
+    axis: str = ""
+
+
 @dataclass
 class ServiceDefinition:
     """Declarative registration of one service with the kernel."""
@@ -163,12 +227,172 @@ class ServiceDefinition:
     direct_client_id: str = ""
     #: Run once per replica after the cluster is built (e.g. charge hooks).
     wire_replica: Optional[Callable[[Any, Upcalls], None]] = None
+    #: How ops map onto shards of a :class:`ShardedDeployment` (None:
+    #: the service cannot be sharded).
+    shard_key: Optional[ShardKeySpec] = None
 
     def __post_init__(self) -> None:
         self.client_id = self.client_id or f"{self.name}-client"
         self.direct_server_id = self.direct_server_id or f"{self.name}-server"
         self.direct_client_id = (self.direct_client_id
                                  or f"{self.name}-client-node")
+
+
+# -- deployments -------------------------------------------------------------------
+
+
+@dataclass
+class Deployment:
+    """A built service stack: the channel ops ride, the service-level
+    client facade, and the simulation plumbing they share."""
+
+    definition: ServiceDefinition
+    scheduler: Scheduler
+    network: Network
+    channel: Channel
+    client: Any
+
+    @property
+    def metrics(self):
+        """The deployment's aggregated metrics registry."""
+        raise NotImplementedError
+
+    def run(self, seconds: float) -> None:
+        """Advance simulated time (processing everything due in between)."""
+        self.scheduler.run_until(self.scheduler.now + seconds)
+
+    def settle(self, max_events: int = 5_000_000) -> None:
+        """Drain the event queue completely (timers permitting)."""
+        self.scheduler.run(max_events)
+
+
+@dataclass
+class ReplicatedDeployment(Deployment):
+    """One BASE group: four (or n) conformance wrappers behind BFT."""
+
+    cluster: Cluster = None  # type: ignore[assignment]
+    sync: SyncClient = None  # type: ignore[assignment]
+
+    @property
+    def metrics(self):
+        return self.cluster.metrics
+
+    @property
+    def replicas(self):
+        return self.cluster.replicas
+
+    @classmethod
+    def build(cls, definition: ServiceDefinition,
+              backend_classes: Optional[Sequence[Optional[type]]] = None,
+              *,
+              config: Optional[BftConfig] = None,
+              base_config: Optional[BaseServiceConfig] = None,
+              network_config: Optional[NetworkConfig] = None,
+              replica_costs: Optional[List[CostModel]] = None,
+              client_id: Optional[str] = None,
+              seed: int = 0,
+              scheduler: Optional[Scheduler] = None,
+              network: Optional[Network] = None,
+              tracer: Optional[Tracer] = None,
+              **options: Any) -> "ReplicatedDeployment":
+        """Build a BASE-replicated deployment of one registered service.
+
+        ``backend_classes`` has one entry per replica — all the same
+        class for homogeneous replication, one per vendor for the
+        opportunistic N-version setups.  Extra keyword arguments flow to
+        the service's wrapper factory through :class:`WrapperContext`.
+
+        Pass ``scheduler``/``network`` to mount the group on an existing
+        simulation fabric (how :class:`ShardedDeployment` composes N
+        groups); pass ``config`` with distinct ``replica_ids`` so the
+        co-tenant groups' node ids cannot collide.
+        """
+        if backend_classes is None:
+            if config is not None and config.n != len(
+                    definition.default_backends):
+                backends: List[Optional[type]] = \
+                    list(definition.default_backends[:1]) * config.n
+            else:
+                backends = list(definition.default_backends)
+        else:
+            backends = list(backend_classes)
+        config = config or BftConfig(n=len(backends))
+        base_config = base_config or BaseServiceConfig(
+            branching=definition.branching)
+        clock_box: Dict[str, Cluster] = {}
+
+        def sim_clock() -> float:
+            # Wrapper factories run while the cluster is still being
+            # built; until then the simulation clock reads zero.
+            cluster = clock_box.get("cluster")
+            return cluster.scheduler.now if cluster is not None else 0.0
+
+        def factory_for(i: int) -> Callable[[], Upcalls]:
+            def factory() -> Upcalls:
+                return definition.make_wrapper(WrapperContext(
+                    index=i, backend_class=backends[i], clock=sim_clock,
+                    options=dict(options)))
+            return factory
+
+        cluster = build_base_cluster(
+            [factory_for(i) for i in range(config.n)], config=config,
+            base_config=base_config, network_config=network_config,
+            replica_costs=replica_costs, seed=seed,
+            scheduler=scheduler, network=network, tracer=tracer)
+        clock_box["cluster"] = cluster
+        if definition.wire_replica is not None:
+            for replica in cluster.replicas:
+                definition.wire_replica(replica, replica.state.upcalls)
+        sync = cluster.add_client(client_id or definition.client_id)
+        channel = ReplicatedChannel(sync)
+        return cls(definition=definition, scheduler=cluster.scheduler,
+                   network=cluster.network, channel=channel,
+                   client=definition.make_client(channel),
+                   cluster=cluster, sync=sync)
+
+
+@dataclass
+class UnreplicatedDeployment(Deployment):
+    """The unreplicated baseline: one backend behind a plain server node."""
+
+    backend: Any = None
+    server: DirectServiceServer = None  # type: ignore[assignment]
+
+    @property
+    def metrics(self):
+        raise AttributeError("the unreplicated baseline records no metrics")
+
+    @classmethod
+    def build(cls, definition: ServiceDefinition,
+              backend_class: Optional[type] = None,
+              *,
+              network_config: Optional[NetworkConfig] = None,
+              seed: int = 0,
+              **options: Any) -> "UnreplicatedDeployment":
+        """Build the unreplicated baseline deployment on its own network."""
+        if definition.make_direct is None:
+            raise ValueError(f"service {definition.name!r} has no baseline")
+        scheduler = Scheduler()
+        network = Network(scheduler,
+                          network_config or NetworkConfig(seed=seed))
+        direct = definition.make_direct(WrapperContext(
+            index=0, backend_class=backend_class,
+            clock=lambda: scheduler.now, options=dict(options)))
+        node = DirectServiceServer(definition.direct_server_id, network,
+                                   direct.handler)
+        if direct.wire is not None:
+            direct.wire(node)
+        channel = DirectChannel(definition.name, scheduler, network,
+                                definition.direct_server_id,
+                                definition.direct_client_id)
+        make_client = definition.make_direct_client or definition.make_client
+        return cls(definition=definition, scheduler=scheduler,
+                   network=network, channel=channel,
+                   client=make_client(channel),
+                   backend=direct.backend, server=node)
+
+
+# -- legacy tuple shims -------------------------------------------------------------
 
 
 def build_replicated(definition: ServiceDefinition,
@@ -181,49 +405,12 @@ def build_replicated(definition: ServiceDefinition,
                      client_id: Optional[str] = None,
                      seed: int = 0,
                      **options: Any) -> Tuple[Cluster, Any]:
-    """Build a BASE-replicated deployment of one registered service.
-
-    ``backend_classes`` has one entry per replica — all the same class
-    for homogeneous replication, one per vendor for the opportunistic
-    N-version setups.  Extra keyword arguments flow to the service's
-    wrapper factory through :class:`WrapperContext`.
-    """
-    if backend_classes is None:
-        if config is not None and config.n != len(definition.default_backends):
-            backends: List[Optional[type]] = \
-                list(definition.default_backends[:1]) * config.n
-        else:
-            backends = list(definition.default_backends)
-    else:
-        backends = list(backend_classes)
-    config = config or BftConfig(n=len(backends))
-    base_config = base_config or BaseServiceConfig(
-        branching=definition.branching)
-    clock_box: Dict[str, Cluster] = {}
-
-    def sim_clock() -> float:
-        # Wrapper factories run while the cluster is still being built;
-        # until then the simulation clock reads zero.
-        cluster = clock_box.get("cluster")
-        return cluster.scheduler.now if cluster is not None else 0.0
-
-    def factory_for(i: int) -> Callable[[], Upcalls]:
-        def factory() -> Upcalls:
-            return definition.make_wrapper(WrapperContext(
-                index=i, backend_class=backends[i], clock=sim_clock,
-                options=dict(options)))
-        return factory
-
-    cluster = build_base_cluster(
-        [factory_for(i) for i in range(config.n)], config=config,
-        base_config=base_config, network_config=network_config,
-        replica_costs=replica_costs, seed=seed)
-    clock_box["cluster"] = cluster
-    if definition.wire_replica is not None:
-        for replica in cluster.replicas:
-            definition.wire_replica(replica, replica.state.upcalls)
-    sync = cluster.add_client(client_id or definition.client_id)
-    return cluster, definition.make_client(ReplicatedChannel(sync))
+    """Historical entry point: build and return ``(cluster, client)``."""
+    deployment = ReplicatedDeployment.build(
+        definition, backend_classes, config=config, base_config=base_config,
+        network_config=network_config, replica_costs=replica_costs,
+        client_id=client_id, seed=seed, **options)
+    return deployment.cluster, deployment.client
 
 
 def build_unreplicated(definition: ServiceDefinition,
@@ -232,20 +419,8 @@ def build_unreplicated(definition: ServiceDefinition,
                        network_config: Optional[NetworkConfig] = None,
                        seed: int = 0,
                        **options: Any) -> Tuple[Any, Any]:
-    """Build the unreplicated baseline deployment on its own network."""
-    if definition.make_direct is None:
-        raise ValueError(f"service {definition.name!r} has no baseline")
-    scheduler = Scheduler()
-    network = Network(scheduler, network_config or NetworkConfig(seed=seed))
-    direct = definition.make_direct(WrapperContext(
-        index=0, backend_class=backend_class,
-        clock=lambda: scheduler.now, options=dict(options)))
-    node = DirectServiceServer(definition.direct_server_id, network,
-                               direct.handler)
-    if direct.wire is not None:
-        direct.wire(node)
-    channel = DirectChannel(definition.name, scheduler, network,
-                            definition.direct_server_id,
-                            definition.direct_client_id)
-    make_client = definition.make_direct_client or definition.make_client
-    return direct.backend, make_client(channel)
+    """Historical entry point: build and return ``(backend, client)``."""
+    deployment = UnreplicatedDeployment.build(
+        definition, backend_class, network_config=network_config, seed=seed,
+        **options)
+    return deployment.backend, deployment.client

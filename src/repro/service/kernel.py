@@ -23,6 +23,17 @@ from typing import Any, Callable, Dict, FrozenSet, Optional, Tuple
 from repro.base.upcalls import Upcalls
 from repro.encoding.canonical import canonical, decanonical
 
+#: Kernel-level transaction meta-ops (client-driven two-phase commit for
+#: cross-shard operations; see docs/SHARDING.md).  These tags live outside
+#: every service's abstract specification — the kernel intercepts them
+#: before table dispatch, so no service can shadow them.
+TXN_PREPARE = "__prepare__"
+TXN_COMMIT = "__commit__"
+TXN_ABORT = "__abort__"
+#: Reply envelope tag shared by all three meta-ops.
+TXN_TAG = "__txn__"
+_TXN_OPS = frozenset((TXN_PREPARE, TXN_COMMIT, TXN_ABORT))
+
 
 class OpSpec:
     """One registered operation of a service's abstract specification."""
@@ -104,6 +115,12 @@ class AbstractService(Upcalls):
         #: not) before dispatch; per-op extras come from ``@op(cost=...)``.
         self.per_op_cost: float = 0.0
         self._saved_rep: Optional[bytes] = None
+        #: Advisory staging of prepared-but-uncommitted transaction
+        #: sub-ops.  NOT part of the abstract state: a replica restored
+        #: from a checkpoint (state transfer between prepare and commit)
+        #: loses it harmlessly, because ``__commit__`` carries the
+        #: sub-ops redundantly and never consults this map to execute.
+        self._txn_staged: Dict[Any, Tuple[bytes, ...]] = {}
 
     # -- introspection -----------------------------------------------------------
 
@@ -123,6 +140,8 @@ class AbstractService(Upcalls):
             kind, args = decoded[0], tuple(decoded[1:])
         except Exception:
             return canonical(self.malformed_reply(kind, None))
+        if isinstance(kind, str) and kind in _TXN_OPS:
+            return self._execute_txn(kind, args, client_id, nondet, read_only)
         key = self.op_key(kind) if isinstance(kind, str) else None
         spec = self.OPS.get(key) if key is not None else None
         self.charge_op(spec)
@@ -143,6 +162,56 @@ class AbstractService(Upcalls):
                 raise
             return canonical(reply)
         return canonical(self.ok_reply(payload))
+
+    # -- transaction meta-ops (cross-shard two-phase commit) -----------------------
+
+    def _execute_txn(self, kind: str, args: tuple, client_id: str,
+                     nondet: bytes, read_only: bool) -> bytes:
+        """Execute one kernel transaction meta-op.
+
+        Every reply is a ``(TXN_TAG, status, ...)`` envelope, and every
+        outcome is a deterministic function of the op bytes and the
+        current abstract state — Byzantine coordinators can at worst
+        abandon a prepared transaction, which holds no locks and has
+        zero abstract-state effect.
+        """
+        self.charge_op(None)
+        if read_only:
+            # Mutating by construction: committing applies sub-ops.
+            return canonical((TXN_TAG, "read_only", kind))
+        if kind == TXN_ABORT:
+            if len(args) != 1 or not isinstance(args[0], str):
+                return canonical((TXN_TAG, "malformed", kind))
+            self._txn_staged.pop(args[0], None)
+            return canonical((TXN_TAG, "aborted", args[0]))
+        if (len(args) != 2 or not isinstance(args[0], str)
+                or not isinstance(args[1], tuple) or not args[1]
+                or not all(isinstance(sub, bytes) for sub in args[1])):
+            return canonical((TXN_TAG, "malformed", kind))
+        txn_id, sub_ops = args[0], args[1]
+        if kind == TXN_PREPARE:
+            if all(self._txn_vote(sub) for sub in sub_ops):
+                self._txn_staged[txn_id] = sub_ops
+                return canonical((TXN_TAG, "prepared", txn_id))
+            return canonical((TXN_TAG, "refused", txn_id))
+        # TXN_COMMIT: apply the carried sub-ops in order at this sequence
+        # point.  The staged copy (if any survives) is dropped unread.
+        self._txn_staged.pop(txn_id, None)
+        replies = tuple(self.execute(sub, client_id, nondet)
+                        for sub in sub_ops)
+        return canonical((TXN_TAG, "committed", txn_id, replies))
+
+    def _txn_vote(self, sub_op: bytes) -> bool:
+        """Would this sub-op dispatch?  (The prepare-phase vote: depends
+        only on the op bytes, so every correct replica votes alike.)"""
+        try:
+            decoded = decanonical(sub_op)
+            kind = decoded[0]
+        except Exception:
+            return False
+        if not isinstance(kind, str) or kind in _TXN_OPS:
+            return False
+        return self.op_key(kind) in self.OPS
 
     # -- per-service hooks ---------------------------------------------------------
 

@@ -4,11 +4,18 @@ Each service's ``service.py`` registers its
 :class:`~repro.service.deploy.ServiceDefinition` at import time; the
 cross-service conformance harness and any by-name tooling iterate the
 registry instead of hard-coding the four stacks.
+
+Registration is **idempotent**: re-registering the same (or an
+equal-valued) definition is a no-op rather than an error, and
+``load_all`` repopulates even a *fresh* registry from already-imported
+service modules — ``importlib.import_module`` is a no-op for cached
+modules, so without the rescan a new registry would silently stay
+empty.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List
+from typing import Dict, Iterator, List, Optional
 
 from repro.service.deploy import ServiceDefinition
 
@@ -28,12 +35,39 @@ class ServiceRegistry:
         self._services: Dict[str, ServiceDefinition] = {}
 
     def register(self, definition: ServiceDefinition) -> ServiceDefinition:
+        """Add a definition; idempotent for equal-valued re-registrations.
+
+        Registering the same object twice, or a value-equal rebuild of
+        an existing definition (the repeated-import case), returns the
+        already-registered definition.  Only a *conflicting* definition
+        under an existing name raises.
+        """
         existing = self._services.get(definition.name)
-        if existing is not None and existing is not definition:
+        if existing is not None:
+            if existing is definition or existing == definition:
+                return existing
             raise ValueError(f"service {definition.name!r} already "
-                             f"registered")
+                             f"registered with a different definition")
         self._services[definition.name] = definition
         return definition
+
+    def load_all(self) -> "ServiceRegistry":
+        """Populate this registry with every known service definition.
+
+        Imports any service module not yet loaded, then rescans the
+        (possibly already-cached) modules for their module-level
+        :class:`ServiceDefinition` instances and registers each
+        idempotently — so the call works on a fresh registry even when
+        every module import is a cache hit.
+        """
+        import importlib
+
+        for module_name in _SERVICE_MODULES:
+            module = importlib.import_module(module_name)
+            for value in vars(module).values():
+                if isinstance(value, ServiceDefinition):
+                    self.register(value)
+        return self
 
     def get(self, name: str) -> ServiceDefinition:
         try:
@@ -60,13 +94,10 @@ def register(definition: ServiceDefinition) -> ServiceDefinition:
     return REGISTRY.register(definition)
 
 
-def load_all() -> ServiceRegistry:
-    """Import every service module so the registry is fully populated."""
-    import importlib
-
-    for module in _SERVICE_MODULES:
-        importlib.import_module(module)
-    return REGISTRY
+def load_all(registry: Optional[ServiceRegistry] = None) -> ServiceRegistry:
+    """Import every service module so ``registry`` (default: the default
+    registry) is fully populated."""
+    return (registry if registry is not None else REGISTRY).load_all()
 
 
 def get_service(name: str) -> ServiceDefinition:

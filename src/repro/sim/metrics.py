@@ -182,14 +182,23 @@ class Metrics:
             return obj
         return json.dumps(_clean(self.as_dict(percentiles)), indent=indent)
 
-    def merge(self, other: "Metrics") -> None:
+    def merge(self, other: "Metrics", prefix: str = "") -> None:
         """Fold another registry into this one (counters add, gauges take
-        the other's value, histogram aggregates and samples combine)."""
+        the other's value, histogram aggregates and samples combine).
+
+        ``prefix`` namespaces every incoming name (e.g. ``"shard0."``):
+        sharded deployments aggregate one registry per group into a
+        single report without the groups' identically-named counters and
+        phase histograms colliding.  Aggregates and retained percentile
+        samples are carried over unchanged — a prefixed merge into an
+        empty registry preserves every percentile bit for bit.
+        """
         for name, n in other.counters.items():
-            self.inc(name, n)
-        self.gauges.update(other.gauges)
+            self.inc(prefix + name, n)
+        for name, value in other.gauges.items():
+            self.gauges[prefix + name] = value
         for name, hist in other.histograms.items():
-            mine = self.histogram(name)
+            mine = self.histogram(prefix + name)
             offset = mine.count
             mine.count += hist.count
             mine.sum += hist.sum

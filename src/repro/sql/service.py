@@ -20,6 +20,7 @@ from repro.service.deploy import (
     DirectService,
     DirectServiceServer,
     ServiceDefinition,
+    ShardKeySpec,
     WrapperContext,
     build_replicated,
     build_unreplicated,
@@ -103,6 +104,14 @@ def _make_direct(ctx: WrapperContext) -> DirectService:
     return DirectService(backend=engine, handler=handler)
 
 
+def _shard_key(decoded: tuple):
+    # Every op names its table as the first argument; the catalog op
+    # ("tables",) has no key and lives on the home shard.
+    if len(decoded) >= 2 and isinstance(decoded[1], str):
+        return decoded[1]
+    return None
+
+
 SQL_SERVICE = register(ServiceDefinition(
     name="sql",
     make_wrapper=_make_wrapper,
@@ -110,6 +119,7 @@ SQL_SERVICE = register(ServiceDefinition(
     make_direct=_make_direct,
     default_backends=(BTreeStoreEngine,) * 4,
     branching=16,
+    shard_key=ShardKeySpec(extract=_shard_key, axis="table name"),
 ))
 
 

@@ -15,10 +15,12 @@ from repro.bft.costs import CostModel
 from repro.encoding.canonical import canonical, decanonical
 from repro.harness.cluster import Cluster
 from repro.service.deploy import (
+    BROADCAST,
     Channel,
     DirectService,
     DirectServiceServer,
     ServiceDefinition,
+    ShardKeySpec,
     WrapperContext,
     build_replicated,
     build_unreplicated,
@@ -135,6 +137,29 @@ def _make_direct(ctx: WrapperContext) -> DirectService:
     return DirectService(backend=server, handler=handler, wire=wire)
 
 
+def _thor_shard_key(decoded: tuple):
+    """Partition the object universe by page number.
+
+    Session management broadcasts (every shard tracks every client's
+    invalid set); fetches route by the fetched page; a commit routes by
+    the pages its read and write sets touch — one page set, one shard;
+    several, and the caller must use the cross-shard commit path.
+    """
+    from repro.thor.orefs import oref_pagenum
+    kind, *args = decoded
+    if kind in ("start_session", "end_session"):
+        return BROADCAST
+    if kind == "fetch" and len(args) >= 2 and isinstance(args[1], int):
+        return ("page", args[1])
+    if kind == "commit" and len(args) >= 4:
+        reads, writes = args[2], args[3]
+        pages = {oref_pagenum(oref) for oref in reads}
+        pages.update(oref_pagenum(pair[0]) for pair in writes)
+        if pages:
+            return [("page", page) for page in sorted(pages)]
+    return None
+
+
 THOR_SERVICE = register(ServiceDefinition(
     name="thor",
     make_wrapper=_make_wrapper,
@@ -142,6 +167,7 @@ THOR_SERVICE = register(ServiceDefinition(
     make_direct=_make_direct,
     branching=64,
     wire_replica=_wire_replica,
+    shard_key=ShardKeySpec(extract=_thor_shard_key, axis="page number"),
 ))
 
 

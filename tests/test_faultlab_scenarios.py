@@ -45,6 +45,22 @@ def test_swept_scenarios_hold_their_invariants_at_seed_zero(name):
     assert result.faults_injected > 0
 
 
+def test_shard_view_change_is_swept_and_sharded():
+    scenario = get_scenario("shard_view_change")
+    assert "shard_view_change" in SWEPT
+    assert scenario.shards == 2 and scenario.service == "sql"
+
+
+def test_sharded_checks_flag_a_missing_view_change():
+    # A window that opens long after the workload drained partitions an
+    # idle primary: nothing times out, no view change happens, and the
+    # sharded checks must call that out rather than passing vacuously.
+    from repro.faultlab.plan import PartitionFault
+    plan = FaultPlan((PartitionFault((0,), start=30.0, stop=31.0),))
+    result = run_trial("shard_view_change", 0, plan=plan)
+    assert [v.invariant for v in result.violations] == ["shard_view_change"]
+
+
 def test_cli_list_and_run(capsys):
     assert main(["list"]) == 0
     out = capsys.readouterr().out

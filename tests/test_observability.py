@@ -167,6 +167,52 @@ def test_merge_into_full_histogram_still_absorbs_samples():
     assert hist.percentile(95) == 100.0
 
 
+def test_merge_with_prefix_namespaces_every_metric():
+    a, b = Metrics(), Metrics()
+    b.inc("requests", 7)
+    b.gauge("depth", 3.0)
+    b.observe("phase.commit", 0.5)
+    a.merge(b, prefix="shard1.")
+    assert a.counter_value("shard1.requests") == 7
+    assert a.counter_value("requests") == 0
+    assert a.gauge_value("shard1.depth") == 3.0
+    assert a.histogram("shard1.phase.commit").count == 1
+    assert "phase.commit" not in a.histograms
+
+
+def test_prefixed_merge_preserves_percentiles_bit_for_bit():
+    """A sharded deployment's aggregate must report each group's
+    percentiles exactly as the group recorded them — the prefix merge
+    into an empty registry carries every retained sample unchanged."""
+    source = Metrics()
+    for i in range(1000):
+        source.observe("lat", (i * 37 % 1000) / 10.0)
+    merged = Metrics()
+    merged.merge(source, prefix="shard0.")
+    original = source.histogram("lat")
+    copied = merged.histogram("shard0.lat")
+    assert copied.count == original.count
+    assert copied.sum == original.sum
+    assert copied.min == original.min and copied.max == original.max
+    for p in (0.0, 1.0, 50.0, 90.0, 99.0, 99.9, 100.0):
+        assert copied.percentile(p) == original.percentile(p)
+
+
+def test_prefixed_merge_keeps_identically_named_shards_apart():
+    shard0, shard1 = Metrics(), Metrics()
+    shard0.inc("executed", 10)
+    shard1.inc("executed", 4)
+    shard0.observe("phase.commit", 1.0)
+    shard1.observe("phase.commit", 9.0)
+    total = Metrics()
+    total.merge(shard0, prefix="shard0.")
+    total.merge(shard1, prefix="shard1.")
+    assert total.counter_value("shard0.executed") == 10
+    assert total.counter_value("shard1.executed") == 4
+    assert total.histogram("shard0.phase.commit").mean == 1.0
+    assert total.histogram("shard1.phase.commit").mean == 9.0
+
+
 def test_merge_partially_full_buffer_appends_then_rotates():
     a = Metrics(max_samples_per_histogram=4)
     b = Metrics(max_samples_per_histogram=4)

@@ -1,6 +1,6 @@
 """The cross-service conformance battery (see
 :mod:`repro.service.conformance`), parametrized over every service in
-the registry — the same five checks run against NFS, SQL, HTTP, and
+the registry — the same six checks run against NFS, SQL, HTTP, and
 Thor, each over a heterogeneous wrapper pair.
 """
 
@@ -13,6 +13,7 @@ from repro.service.conformance import (
     check_read_only_rejection,
     check_restart_survival,
     check_round_trip,
+    check_txn_framing,
     faulty_probe_names,
     get_faulty_probe,
     get_probe,
@@ -51,6 +52,11 @@ def test_restart_survival(name):
     check_restart_survival(get_probe(name))
 
 
+@pytest.mark.parametrize("name", probe_names())
+def test_txn_framing(name):
+    check_txn_framing(get_probe(name))
+
+
 # -- faulty backends ---------------------------------------------------------
 #
 # The BASE claim under test: the abstraction wrapper tolerates software
@@ -87,11 +93,11 @@ def test_aged_out_leaky_backend_recovers_via_rejuvenation():
     driver.ok(*probe.mutating_op)
 
 
-def test_battery_covers_all_five_checks():
+def test_battery_covers_all_six_checks():
     assert {check.__name__ for check in BATTERY} == {
         "check_round_trip", "check_abstract_determinism",
         "check_read_only_rejection", "check_malformed_ops",
-        "check_restart_survival"}
+        "check_restart_survival", "check_txn_framing"}
 
 
 # -- regression: wire-legal procedures outside the abstract spec ------------------
