@@ -3,8 +3,10 @@
 Usage (from the repository root)::
 
     PYTHONPATH=src python -m benchmarks.perf [--quick] [--repeats N]
-                                             [--out BENCH_5.json]
+                                             [--out BENCH_6.json]
                                              [--curve-out openloop_curve.json]
+                                             [--profile]
+                                             [--profile-out profile_top25.txt]
 """
 
 from __future__ import annotations
@@ -16,6 +18,7 @@ import sys
 from benchmarks.perf.harness import (
     BENCH_ID,
     extract_curve_artifact,
+    profile_scenarios,
     run_all,
     write_report,
 )
@@ -34,6 +37,11 @@ def main(argv=None) -> int:
     parser.add_argument("--curve-out", default="openloop_curve.json",
                         help="load-latency curve artifact path "
                              "(default: %(default)s)")
+    parser.add_argument("--profile", action="store_true",
+                        help="also cProfile each closed-loop scenario and "
+                             "write the top-25-by-cumulative-time artifact")
+    parser.add_argument("--profile-out", default="profile_top25.txt",
+                        help="profile artifact path (default: %(default)s)")
     args = parser.parse_args(argv)
 
     report = run_all(quick=args.quick, repeats=args.repeats,
@@ -45,11 +53,23 @@ def main(argv=None) -> int:
                   sort_keys=True)
         fh.write("\n")
     print(f"wrote {args.curve_out}", file=sys.stderr)
+    if args.profile:
+        text = profile_scenarios(
+            quick=args.quick,
+            progress=lambda line: print(line, file=sys.stderr))
+        with open(args.profile_out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"wrote {args.profile_out}", file=sys.stderr)
     for name, data in report["scenarios"].items():
         print(f"{name:16s} {data['requests_per_sec']:10.1f} req/s "
               f"{data['events_per_sec']:12.0f} events/s "
               f"p50 {data['wall_seconds_p50'] * 1e3:8.1f} ms "
               f"p95 {data['wall_seconds_p95'] * 1e3:8.1f} ms")
+    fast = report["scenarios"]["read_heavy"]["fast_path"]
+    print(f"read_heavy paths: {fast['read_only_rate']:.0%} read-only, "
+          f"{fast['tentative_rate']:.0%} tentative, "
+          f"{fast['accept_committed']} committed "
+          f"(scheduler: {report['scheduler_backend']})")
     ol = report["scenarios"]["open_loop"]
     print(f"open_loop: max sustainable {ol['max_sustainable_req_s']:.1f} "
           f"req/s (simulated) at p95 SLO {ol['slo_p95_seconds'] * 1e3:.1f} ms "

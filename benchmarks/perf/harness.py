@@ -9,10 +9,21 @@ The scenarios cover the three hot paths the simulator spends its life in:
 
 - ``normal_case`` — f=1 three-phase ordering with client-driven batching
   (MAC/digest work on every message hop);
+- ``read_heavy`` — the fast path's headline workload: a 90/10 read/write
+  closed loop where reads travel the read-only optimization and writes
+  complete on tentative commit certificates (the scenario reports the
+  per-path accept counts so the hit rates are part of the artifact);
 - ``state_transfer`` — hierarchical fetch of a dirty partition tree
   (digest checks and per-object messages);
 - ``recovery`` — one proactive recovery round: shutdown, reboot, fetch
   and check (session-key refresh plus a full state audit).
+
+Timed repeats run after one untimed warmup repeat and with the garbage
+collector paused, so the numbers measure the protocol, not allocator
+warm-up or an unlucky mid-repeat GC pass.  Every closed-loop scenario
+also carries the merged ``batch.size`` histogram (the adaptive batching
+controller's actual output) and the report is tagged with the event
+scheduler backend it ran on.
 
 A fourth scenario, ``open_loop``, is different in kind: it runs the
 open-loop traffic engine's load-sweep controller
@@ -36,8 +47,10 @@ same bytes.
 
 from __future__ import annotations
 
+import gc
 import json
 import platform
+import random
 import time
 from typing import Callable, Dict, List, Optional
 
@@ -45,11 +58,15 @@ from repro.bft.config import BftConfig
 from repro.bft.statemachine import InMemoryStateManager
 from repro.harness import costs as C
 from repro.harness.cluster import Cluster, build_cluster
+from repro.sim.metrics import Metrics
+from repro.sim.scheduler import DEFAULT_BACKEND
 
-BENCH_ID = 5
-SCHEMA_VERSION = 3
+BENCH_ID = 6
+SCHEMA_VERSION = 4  # v4: read_heavy + fast-path hit rates, batch-size
+#                     histograms, scheduler_backend tag
 
 put = InMemoryStateManager.op_put
+get = InMemoryStateManager.op_get
 
 
 def _build(seed: int, **cfg_kwargs) -> Cluster:
@@ -100,6 +117,60 @@ def scenario_normal_case(seed: int, scale: int):
     return cluster, n_clients * per_client
 
 
+def scenario_read_heavy(seed: int, scale: int):
+    """90/10 read/write closed loop over the fast path.
+
+    Reads are issued with ``read_only=True`` and normally complete from
+    a 2f+1 quorum of unordered read-only replies; the 10% writes keep
+    ordered traffic (and tentative commit certificates) flowing and make
+    the occasional read race a write — exercising retry and the ordered
+    fallback, not just the happy path.  The op mix is a pure function of
+    the seed.
+    """
+    cluster = _build(seed, checkpoint_interval=16, batch_max=8,
+                     client_retry_timeout=0.4)
+    n_clients = 4
+    per_client = scale
+    rng = random.Random(1_000_003 * seed + 17)
+    plans: List[List[tuple]] = []
+    for c in range(n_clients):
+        ops = []
+        for i in range(per_client):
+            key = rng.randrange(16)
+            if rng.random() < 0.9:
+                ops.append((get(key), True))
+            else:
+                ops.append((put(key, b"rh%d" % i), False))
+        plans.append(ops)
+
+    done: Dict[str, int] = {}
+    clients = []
+    for c in range(n_clients):
+        sync = cluster.add_client(f"client{c}", costs=C.PROTOCOL_COSTS)
+        clients.append(sync.client)
+    # Seed every key once so reads never hit an unwritten slot.
+    warm = cluster.add_client("warmup", costs=C.PROTOCOL_COSTS)
+    for key in range(16):
+        warm.call(put(key, b"seed"))
+
+    def make_cb(client, ops):
+        def cb(_result):
+            seq = done[client.node_id] = done.get(client.node_id, 0) + 1
+            if seq < len(ops):
+                op, read_only = ops[seq]
+                client.invoke(op, cb, read_only=read_only)
+        return cb
+
+    for client, ops in zip(clients, plans):
+        op, read_only = ops[0]
+        client.invoke(op, make_cb(client, ops), read_only=read_only)
+    ok = cluster.run_until(
+        lambda: all(done.get(c.node_id, 0) >= per_client for c in clients))
+    if not ok:
+        raise RuntimeError("read_heavy scenario did not complete")
+    return cluster, n_clients * per_client
+
+
 def scenario_state_transfer(seed: int, scale: int):
     """A partitioned replica misses writes across the whole tree, then
     catches up by hierarchical state transfer."""
@@ -146,6 +217,7 @@ def scenario_recovery(seed: int, scale: int):
 #: name -> (scenario fn, full-mode scale, quick-mode scale)
 SCENARIOS: Dict[str, tuple] = {
     "normal_case": (scenario_normal_case, 150, 25),
+    "read_heavy": (scenario_read_heavy, 150, 25),
     "state_transfer": (scenario_state_transfer, 40, 12),
     "recovery": (scenario_recovery, 24, 8),
 }
@@ -389,21 +461,60 @@ def _percentile(sorted_values: List[float], q: float) -> float:
     return sorted_values[idx]
 
 
+def _batch_size_summary(acc: Metrics) -> Dict[str, float]:
+    """The merged adaptive-batching output across timed repeats."""
+    hist = acc.histograms.get("batch.size")
+    if hist is None or not hist.count:
+        return {"count": 0, "mean": 0.0, "min": 0.0, "max": 0.0,
+                "p50": 0.0, "p90": 0.0, "p99": 0.0}
+    return {"count": hist.count, "mean": hist.mean,
+            "min": hist.min, "max": hist.max,
+            "p50": hist.percentile(50), "p90": hist.percentile(90),
+            "p99": hist.percentile(99)}
+
+
+def _fast_path_summary(acc: Metrics) -> Dict[str, float]:
+    """Per-accept-path counts and hit rates from the client counters."""
+    counts = {path: acc.counter_value(f"client.accept_{path}")
+              for path in ("committed", "tentative", "read_only")}
+    total = sum(counts.values())
+    return {
+        "accept_committed": counts["committed"],
+        "accept_tentative": counts["tentative"],
+        "accept_read_only": counts["read_only"],
+        "tentative_rate": counts["tentative"] / total if total else 0.0,
+        "read_only_rate": counts["read_only"] / total if total else 0.0,
+    }
+
+
 def run_scenario(name: str, quick: bool, repeats: int) -> Dict[str, object]:
     fn, full_scale, quick_scale = SCENARIOS[name]
     scale = quick_scale if quick else full_scale
     walls: List[float] = []
     events_total = 0
     requests_total = 0
-    for rep in range(repeats):
-        start = time.perf_counter()
-        cluster, requests = fn(seed=rep, scale=scale)
-        walls.append(time.perf_counter() - start)
-        events_total += _events_run(cluster)
-        requests_total += requests
+    acc = Metrics()
+    # One untimed warmup repeat heats allocator pools, method caches, and
+    # lazily-built protocol tables; pausing the collector keeps a
+    # mid-repeat GC pass from landing in exactly one timing.
+    fn(seed=repeats, scale=scale)
+    gc_was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        for rep in range(repeats):
+            start = time.perf_counter()
+            cluster, requests = fn(seed=rep, scale=scale)
+            walls.append(time.perf_counter() - start)
+            events_total += _events_run(cluster)
+            requests_total += requests
+            acc.merge(cluster.metrics)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
     walls_sorted = sorted(walls)
     total = sum(walls)
-    return {
+    data: Dict[str, object] = {
         "repeats": repeats,
         "scale": scale,
         "wall_seconds_total": total,
@@ -413,7 +524,11 @@ def run_scenario(name: str, quick: bool, repeats: int) -> Dict[str, object]:
         "events_per_sec": events_total / total,
         "requests": requests_total,
         "requests_per_sec": requests_total / total,
+        "batch_size": _batch_size_summary(acc),
     }
+    if name == "read_heavy":
+        data["fast_path"] = _fast_path_summary(acc)
+    return data
 
 
 def run_all(quick: bool = False, repeats: Optional[int] = None,
@@ -442,8 +557,47 @@ def run_all(quick: bool = False, repeats: Optional[int] = None,
         "mode": "quick" if quick else "full",
         "python": platform.python_version(),
         "platform": platform.platform(),
+        "scheduler_backend": DEFAULT_BACKEND,
         "scenarios": scenarios,
     }
+
+
+# -- profiling ----------------------------------------------------------------
+
+PROFILE_TOP_N = 25
+
+
+def profile_scenarios(quick: bool = False,
+                      progress: Optional[Callable[[str], None]] = None) -> str:
+    """cProfile every closed-loop scenario; return the text artifact.
+
+    Each scenario runs once untimed (warmup) and once under the
+    profiler, at the mode's scale and seed 0, and contributes its top
+    ``PROFILE_TOP_N`` functions by cumulative time.  The artifact is
+    what the CI perf-smoke job uploads next to the BENCH report so a
+    throughput regression comes with the hot-path breakdown attached.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    sections: List[str] = []
+    for name, (fn, full_scale, quick_scale) in SCENARIOS.items():
+        scale = quick_scale if quick else full_scale
+        if progress:
+            progress(f"profiling {name} (scale={scale}) ...")
+        fn(seed=0, scale=scale)                     # warmup, unprofiled
+        profiler = cProfile.Profile()
+        profiler.enable()
+        fn(seed=0, scale=scale)
+        profiler.disable()
+        buf = io.StringIO()
+        stats = pstats.Stats(profiler, stream=buf)
+        stats.sort_stats("cumulative").print_stats(PROFILE_TOP_N)
+        sections.append(f"== {name} (scale={scale}, seed=0, "
+                        f"top {PROFILE_TOP_N} by cumulative time) ==\n"
+                        f"{buf.getvalue()}")
+    return "\n".join(sections)
 
 
 # -- schema -------------------------------------------------------------------
@@ -454,6 +608,7 @@ _TOP_FIELDS = {
     "mode": str,
     "python": str,
     "platform": str,
+    "scheduler_backend": str,
     "scenarios": dict,
 }
 
@@ -467,6 +622,26 @@ _SCENARIO_FIELDS = {
     "events_per_sec": float,
     "requests": int,
     "requests_per_sec": float,
+}
+
+#: The merged adaptive-batching histogram every closed-loop scenario carries.
+_BATCH_SIZE_FIELDS = {
+    "count": int,
+    "mean": float,
+    "min": float,
+    "max": float,
+    "p50": float,
+    "p90": float,
+    "p99": float,
+}
+
+#: Per-accept-path accounting the read_heavy scenario must report.
+_FAST_PATH_FIELDS = {
+    "accept_committed": int,
+    "accept_tentative": int,
+    "accept_read_only": int,
+    "tentative_rate": float,
+    "read_only_rate": float,
 }
 
 #: Extra fields the open_loop scenario must carry on top of the common set.
@@ -605,6 +780,52 @@ def _validate_open_loop(data: Dict[str, object]) -> None:
                          "the curve's best sustainable point")
 
 
+def _validate_batch_size(name: str, data: Dict[str, object]) -> None:
+    batch = data.get("batch_size")
+    if not isinstance(batch, dict):
+        raise ValueError(f"{name}.batch_size must be a dict")
+    for key, typ in _BATCH_SIZE_FIELDS.items():
+        value = batch.get(key)
+        if typ is int:
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise ValueError(f"{name}.batch_size.{key} must be int")
+        elif not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ValueError(f"{name}.batch_size.{key} must be numeric")
+        if value < 0:
+            raise ValueError(f"{name}.batch_size.{key} must be >= 0")
+    if batch["count"] > 0 and not (batch["min"] <= batch["p50"]
+                                   <= batch["p99"] <= batch["max"]):
+        raise ValueError(f"{name}.batch_size percentiles out of order")
+    if batch["count"] == 0 and name in ("normal_case", "read_heavy"):
+        raise ValueError(f"{name}: no batches were formed — the ordering "
+                         f"path never ran")
+
+
+def _validate_fast_path(data: Dict[str, object]) -> None:
+    fast = data.get("fast_path")
+    if not isinstance(fast, dict):
+        raise ValueError("read_heavy.fast_path must be a dict")
+    for key, typ in _FAST_PATH_FIELDS.items():
+        value = fast.get(key)
+        if typ is int:
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise ValueError(f"read_heavy.fast_path.{key} must be int")
+        elif not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ValueError(f"read_heavy.fast_path.{key} must be numeric")
+        if value < 0:
+            raise ValueError(f"read_heavy.fast_path.{key} must be >= 0")
+    for rate in ("tentative_rate", "read_only_rate"):
+        if not 0.0 <= fast[rate] <= 1.0:
+            raise ValueError(f"read_heavy.fast_path.{rate} outside [0, 1]")
+    # The scenario exists to witness both fast paths actually taken.
+    if fast["accept_read_only"] == 0:
+        raise ValueError("read_heavy: no request completed via the "
+                         "read-only optimization")
+    if fast["accept_tentative"] == 0:
+        raise ValueError("read_heavy: no request completed on a tentative "
+                         "commit certificate")
+
+
 def validate_report(report: Dict[str, object]) -> None:
     """Raise ``ValueError`` unless ``report`` is a valid BENCH document."""
     for key, typ in _TOP_FIELDS.items():
@@ -635,6 +856,10 @@ def validate_report(report: Dict[str, object]) -> None:
             raise ValueError(f"{name}: p95 below p50")
         if data["repeats"] < 1 or data["requests"] < 1:
             raise ValueError(f"{name}: repeats/requests must be positive")
+        if name in SCENARIOS:
+            _validate_batch_size(name, data)
+        if name == "read_heavy":
+            _validate_fast_path(data)
         if name == "open_loop":
             _validate_open_loop(data)
         elif name == "sharded_scaling":

@@ -158,6 +158,35 @@ class AbstractStateManager(StateManager):
         record = self._records.get(seq)
         return record.snapshot.root_digest if record else None
 
+    def restore_checkpoint(self, seq: int) -> bool:
+        record = self._records.get(seq)
+        if record is None:
+            return False
+        # Objects touched since checkpoint ``seq``: anything with a
+        # pre-image in a retained record at or above it, plus the live
+        # copy-on-write set.  ``object_at`` resolves each one's value as
+        # of ``seq`` through the same pre-image chain state transfer
+        # serves from — gather before mutating anything.
+        indices = set(self._cow)
+        for s, rec in self._records.items():
+            if s >= seq:
+                indices.update(rec.delta)
+        values = {i: self.object_at(seq, i) for i in sorted(indices)}
+        if values:
+            self.upcalls.put_objs(values)
+        leaf_digests = record.snapshot.digests[-1]
+        leaf_lms = record.snapshot.lms[-1]
+        for i in sorted(indices):
+            self._tree.set_leaf(i, leaf_digests[i], leaf_lms[i])
+        for s in [s for s in self._records if s > seq]:
+            del self._records[s]
+        self._dirty.clear()
+        self._stale.clear()
+        self._cold.clear()
+        self._cow = {}
+        self.last_checkpoint_seq = seq
+        return True
+
     # -- serving state transfer ----------------------------------------------------------
 
     def meta_children(self, seq: int, level: int, index: int):

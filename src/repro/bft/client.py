@@ -5,10 +5,21 @@ within the retry timeout it multicasts to all replicas (whose relays and
 timers eventually force a view change if the primary is faulty).  A
 result is accepted once f+1 replicas vouch for the same result digest —
 at least one of them is correct — and the full result bytes arrived from
-at least one of them.  Read-only requests go straight to all replicas and
-need 2f+1 matching *tentative* replies; if that quorum does not show up
-(e.g. concurrent writes or faults), the client falls back to the ordered
-path.
+at least one of them.
+
+Fast paths:
+
+- *Tentative execution*: replicas execute prepared batches before the
+  commit phase finishes and reply marked tentative; 2f+1 matching
+  tentative replies form a *commit certificate* (the request's position
+  survives any view change), letting the client accept one round early.
+  Fewer matching tentative replies fall back to the f+1 committed rule.
+- *Read-only optimization*: read-only requests go straight to all
+  replicas, execute against current state, and need 2f+1 matching
+  read-only replies; if that quorum does not show up (concurrent writes
+  or faults), the client falls back to the ordered path.  Votes from the
+  read-only attempt are discarded on fallback — they certified a read
+  against unordered state, not the ordered execution.
 """
 
 from __future__ import annotations
@@ -34,7 +45,13 @@ class _PendingCall:
     # result_digest -> set of replica ids vouching for it
     votes: Dict[bytes, Set[str]] = field(default_factory=dict)
     results: Dict[bytes, bytes] = field(default_factory=dict)
+    # Ordered-but-uncommitted (tentative execution) votes: 2f+1 matching
+    # form a commit certificate.
     tentative_votes: Dict[bytes, Set[str]] = field(default_factory=dict)
+    # Read-only-optimization votes, kept apart from the ordered quorums:
+    # they certify a read against *unordered* state and become worthless
+    # the moment the call falls back to the ordered path.
+    ro_votes: Dict[bytes, Set[str]] = field(default_factory=dict)
     retries: int = 0
     nudged: bool = False  # fast retransmit for a missing full result
     started_at: float = 0.0  # invoke time, for phase.request_to_reply
@@ -57,6 +74,8 @@ class BftClient(Node):
         self._pending: Optional[_PendingCall] = None
         self._retry_timer = self.make_timer(config.client_retry_timeout,
                                             self._on_retry)
+        self._nudge_timer = self.make_timer(config.client_nudge_grace,
+                                            self._on_nudge_grace)
         self.requests_sent = 0
         self.retransmissions = 0       # timeout-driven (backoff escalates)
         self.fast_retransmissions = 0  # instant nudges (backoff untouched)
@@ -119,13 +138,19 @@ class BftClient(Node):
         self.tracer.metrics.inc("client.retransmissions")
         if call.read_only and call.retries >= 2:
             # Fall back to the ordered path: reissue as a normal request
-            # under the same request id.
+            # under the same request id.  Every vote gathered on the
+            # read-only attempt is discarded — in particular ro_votes,
+            # which must never count toward the ordered quorums (late
+            # read-only replies are additionally gated in handle_reply).
             call.read_only = False
             call.request = Request(self.node_id, call.request.request_id,
                                    call.request.op, read_only=False)
             call.votes.clear()
             call.results.clear()
             call.tentative_votes.clear()
+            call.ro_votes.clear()
+            self.tracer.metrics.inc("client.read_only_fallbacks")
+        self._nudge_timer.stop()
         self._transmit(first=False)
         timeout = self.config.client_retry_timeout * min(2 ** call.retries, 16)
         self._retry_timer.restart(timeout)
@@ -145,6 +170,15 @@ class BftClient(Node):
         self.tracer.metrics.inc("client.fast_retransmissions")
         self._transmit(first=False)
 
+    def _on_nudge_grace(self) -> None:
+        """The grace window after a bytes-less commit certificate expired
+        with the full result still missing: nudge now."""
+        call = self._pending
+        if call is None or call.nudged:
+            return
+        call.nudged = True
+        self._fast_retransmit()
+
     def cancel(self) -> bool:
         """Abandon the outstanding call (no callback will fire).
 
@@ -157,6 +191,7 @@ class BftClient(Node):
             return False
         self._pending = None
         self._retry_timer.stop()
+        self._nudge_timer.stop()
         self.cancelled += 1
         self.tracer.metrics.inc("client.cancelled")
         return True
@@ -185,18 +220,32 @@ class BftClient(Node):
                 return
             call.results[reply.result_digest] = reply.result
         self.view_estimate = max(self.view_estimate, reply.view)
-        votes = call.tentative_votes if reply.tentative else call.votes
+        if reply.read_only:
+            # A straggling reply from an abandoned read-only attempt must
+            # not vote on the ordered request now in flight under the
+            # same id: it certifies a read of unordered state.
+            if not call.read_only:
+                return
+            votes = call.ro_votes
+        elif reply.tentative:
+            votes = call.tentative_votes
+        else:
+            votes = call.votes
         votes.setdefault(reply.result_digest, set()).add(src)
         self._check_accept()
 
     def _check_accept(self) -> None:
         call = self._pending
-        # Ordered replies: f+1 matching.
+        # Read-only votes only exist while the call is still read-only —
+        # the fallback clears them and handle_reply gates late arrivals.
+        assert call.read_only or not call.ro_votes, \
+            "stale read-only votes on an ordered request"
+        # Ordered committed replies: f+1 matching.
         for rdigest, voters in call.votes.items():
             if len(voters) < self.config.weak_quorum:
                 continue
             if rdigest in call.results:
-                self._accept(call.results[rdigest])
+                self._accept(call.results[rdigest], "committed")
                 return
             # Result certified by f+1 digests but the designated replica
             # never sent the full bytes (it may be rebooting): retransmit
@@ -205,16 +254,36 @@ class BftClient(Node):
                 call.nudged = True
                 self._fast_retransmit()
                 return
-        # Tentative replies (read-only optimization): 2f+1 matching.
+        # Commit certificate: 2f+1 matching tentative replies prove the
+        # request's ordering survives any view change.
         for rdigest, voters in call.tentative_votes.items():
+            if len(voters) < self.config.quorum:
+                continue
+            if rdigest in call.results:
+                self._accept(call.results[rdigest], "tentative")
+                return
+            # The certificate is complete but the designated replica's
+            # full-result reply has not arrived.  Unlike the committed
+            # path (where the missing replica may be gone for good), a
+            # 2f+1 tentative quorum usually means the last reply is
+            # simply still in flight — give it a short grace window
+            # before retransmitting, so the common case costs nothing
+            # and a mute replier only costs the grace.
+            if not call.nudged and not self._nudge_timer.running:
+                self._nudge_timer.start(self.config.client_nudge_grace)
+            return
+        # Read-only optimization: 2f+1 matching read-only replies.
+        for rdigest, voters in call.ro_votes.items():
             if len(voters) >= self.config.quorum and rdigest in call.results:
-                self._accept(call.results[rdigest])
+                self._accept(call.results[rdigest], "read_only")
                 return
 
-    def _accept(self, result: bytes) -> None:
+    def _accept(self, result: bytes, path: str = "committed") -> None:
         call = self._pending
         self._pending = None
         self._retry_timer.stop()
+        self._nudge_timer.stop()
+        self.tracer.metrics.inc(f"client.accept_{path}")
         self.tracer.emit(self.now, self.node_id, "result_accepted",
                          request_id=call.request.request_id)
         self.tracer.observe_phase("request_to_reply",

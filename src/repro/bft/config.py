@@ -23,8 +23,17 @@ class BftConfig:
     max_outstanding: int = 1           # pre-prepares in flight per primary
     view_change_timeout: float = 5.0   # backup timer before suspecting primary
     client_retry_timeout: float = 2.0  # client retransmission timer
+    # Grace before the client retransmits on a complete result-digest
+    # certificate with no full result: the designated replier's bytes are
+    # usually still in flight, so waiting a moment beats re-MACing and
+    # re-sending the request to every replica (a mute replier only costs
+    # this much extra before the nudge goes out).
+    client_nudge_grace: float = 0.002
     read_only_optimization: bool = True
     tentative_reply_digests: bool = True  # only one replica sends full result
+    tentative_execution: bool = True   # execute at prepared, reply tentative
+    adaptive_batching: bool = True     # grow/shrink batch bound from arrivals
+    batch_window_max: float = 0.002    # upper bound on the batch hold window
     reboot_delay: float = 30.0         # simulated reboot during recovery
     recovery_interval: float = 0.0     # watchdog period; 0 disables recovery
     recovery_stagger: float = 0.0      # offset between replicas' watchdogs

@@ -15,8 +15,8 @@ class SeqSlot:
     """
 
     __slots__ = ("seq", "pre_prepare", "prepares", "commits",
-                 "prepared", "committed", "executed", "prepared_cert",
-                 "phase_marks")
+                 "prepared", "committed", "executed", "tentative",
+                 "prepared_cert", "phase_marks")
 
     def __init__(self, seq: int):
         self.seq = seq
@@ -26,6 +26,11 @@ class SeqSlot:
         self.prepared = False
         self.committed = False
         self.executed = False
+        # True while the slot has been executed on the fast path (at
+        # prepared time) but its commit certificate is still outstanding.
+        # Cleared when the commit certificate completes or the execution
+        # is rolled back by a view change.
+        self.tentative = False
         # Observability: simulated timestamps of this slot's phase
         # transitions ("pre_prepare", "prepared", "committed"), feeding
         # the per-phase latency histograms.  Reset whenever the slot's

@@ -29,6 +29,8 @@ class Message:
 
     kind = "message"
 
+    __slots__ = ("_body", "_digest", "auth", "sig")
+
     def __init__(self) -> None:
         self._body: Optional[bytes] = None
         self._digest: Optional[bytes] = None
@@ -65,6 +67,8 @@ class Request(Message):
 
     kind = "request"
 
+    __slots__ = ("client_id", "request_id", "op", "read_only")
+
     def __init__(self, client_id: str, request_id: int, op: bytes,
                  read_only: bool = False):
         super().__init__()
@@ -93,9 +97,13 @@ class Reply(Message):
 
     kind = "reply"
 
+    __slots__ = ("view", "request_id", "client_id", "replica_id", "result",
+                 "result_digest", "tentative", "read_only")
+
     def __init__(self, view: int, request_id: int, client_id: str,
                  replica_id: str, result: Optional[bytes],
-                 result_digest: bytes, tentative: bool = False):
+                 result_digest: bytes, tentative: bool = False,
+                 read_only: bool = False):
         super().__init__()
         self.view = view
         self.request_id = request_id
@@ -104,10 +112,17 @@ class Reply(Message):
         self.result = result
         self.result_digest = result_digest
         self.tentative = tentative
+        # Distinguishes read-only-optimization replies (executed against
+        # the replica's current state, never ordered) from ordered
+        # tentative replies (executed at prepared, commit pending).  A
+        # client that fell back from the read-only path must not count
+        # straggling read-only replies toward the ordered quorum.
+        self.read_only = read_only
 
     def _fields(self) -> tuple:
         return (self.view, self.request_id, self.client_id, self.replica_id,
-                self.result, self.result_digest, self.tentative)
+                self.result, self.result_digest, self.tentative,
+                self.read_only)
 
 
 class PrePrepare(Message):
@@ -119,6 +134,8 @@ class PrePrepare(Message):
     """
 
     kind = "pre_prepare"
+
+    __slots__ = ("view", "seq", "requests", "nondet")
 
     def __init__(self, view: int, seq: int, requests: Tuple[Request, ...],
                  nondet: bytes):
@@ -143,6 +160,8 @@ class PrePrepare(Message):
 class Prepare(Message):
     kind = "prepare"
 
+    __slots__ = ("view", "seq", "batch_digest", "replica_id")
+
     def __init__(self, view: int, seq: int, batch_digest: bytes, replica_id: str):
         super().__init__()
         self.view = view
@@ -156,6 +175,8 @@ class Prepare(Message):
 
 class Commit(Message):
     kind = "commit"
+
+    __slots__ = ("view", "seq", "batch_digest", "replica_id")
 
     def __init__(self, view: int, seq: int, batch_digest: bytes, replica_id: str):
         super().__init__()
@@ -178,6 +199,8 @@ class CheckpointMsg(Message):
     """
 
     kind = "checkpoint"
+
+    __slots__ = ("seq", "root_digest", "table_digest", "replica_id")
 
     def __init__(self, seq: int, root_digest: bytes, table_digest: bytes,
                  replica_id: str):
@@ -212,6 +235,9 @@ class ViewChange(Message):
 
     kind = "view_change"
 
+    __slots__ = ("view", "last_stable", "checkpoint_proof", "prepared",
+                 "replica_id")
+
     def __init__(self, view: int, last_stable: int,
                  checkpoint_proof: Tuple[CheckpointMsg, ...],
                  prepared: Tuple[PreparedProof, ...], replica_id: str):
@@ -239,6 +265,8 @@ class NewView(Message):
     pre-prepares it re-proposes for the new view."""
 
     kind = "new_view"
+
+    __slots__ = ("view", "view_changes", "pre_prepares", "replica_id")
 
     def __init__(self, view: int, view_changes: Tuple[ViewChange, ...],
                  pre_prepares: Tuple[PrePrepare, ...], replica_id: str):
@@ -268,6 +296,8 @@ class FetchCert(Message):
 
     kind = "fetch_cert"
 
+    __slots__ = ("replica_id", "nonce")
+
     def __init__(self, replica_id: str, nonce: int):
         super().__init__()
         self.replica_id = replica_id
@@ -283,6 +313,8 @@ class CertReply(Message):
     catch up to the current view — the NEW-VIEW is self-validating."""
 
     kind = "cert_reply"
+
+    __slots__ = ("replica_id", "nonce", "cert", "new_view")
 
     def __init__(self, replica_id: str, nonce: int,
                  cert: Tuple[CheckpointMsg, ...], new_view=None):
@@ -311,6 +343,8 @@ class FetchMeta(Message):
 
     kind = "fetch_meta"
 
+    __slots__ = ("replica_id", "seq", "level", "index")
+
     def __init__(self, replica_id: str, seq: int, level: int, index: int):
         super().__init__()
         self.replica_id = replica_id
@@ -324,6 +358,8 @@ class FetchMeta(Message):
 
 class MetaReply(Message):
     kind = "meta_reply"
+
+    __slots__ = ("replica_id", "seq", "level", "index", "children")
 
     def __init__(self, replica_id: str, seq: int, level: int, index: int,
                  children: Tuple[Tuple[bytes, int], ...]):
@@ -342,6 +378,8 @@ class MetaReply(Message):
 class FetchObject(Message):
     kind = "fetch_object"
 
+    __slots__ = ("replica_id", "seq", "index")
+
     def __init__(self, replica_id: str, seq: int, index: int):
         super().__init__()
         self.replica_id = replica_id
@@ -354,6 +392,8 @@ class FetchObject(Message):
 
 class ObjectReply(Message):
     kind = "object_reply"
+
+    __slots__ = ("replica_id", "seq", "index", "value")
 
     def __init__(self, replica_id: str, seq: int, index: int, value: bytes):
         super().__init__()
@@ -371,6 +411,8 @@ class FetchTable(Message):
 
     kind = "fetch_table"
 
+    __slots__ = ("replica_id", "seq")
+
     def __init__(self, replica_id: str, seq: int):
         super().__init__()
         self.replica_id = replica_id
@@ -382,6 +424,8 @@ class FetchTable(Message):
 
 class TableReply(Message):
     kind = "table_reply"
+
+    __slots__ = ("replica_id", "seq", "blob")
 
     def __init__(self, replica_id: str, seq: int, blob: bytes):
         super().__init__()
@@ -398,6 +442,8 @@ class RecoveryRequest(Message):
     with their stable checkpoint certificates."""
 
     kind = "recovery_request"
+
+    __slots__ = ("replica_id", "epoch")
 
     def __init__(self, replica_id: str, epoch: int):
         super().__init__()

@@ -70,6 +70,12 @@ class Replica(Node):
         self.view = 0
         self.last_executed = 0
         self.last_stable = 0
+        # Highest seq through which execution is known committed (either
+        # executed with a commit certificate or covered by a stable
+        # checkpoint).  Executions in (last_committed_exec, last_executed]
+        # are tentative: performed at prepared time and subject to
+        # rollback if a view change re-orders them.
+        self.last_committed_exec = 0
         self.seq_assigned = 0            # primary: highest seq proposed
         self.log = MessageLog()
         # Client reply cache: client_id -> (last executed request_id, result).
@@ -84,6 +90,18 @@ class Replica(Node):
         # Observability: when each pending request reached this primary,
         # feeding the phase.request_to_pre_prepare histogram.
         self._request_arrival: Dict[Tuple[str, int], float] = {}
+        # Local (non-replicated) record of the seq each client's latest
+        # reply executed at, so cached-reply retransmissions can be
+        # marked tentative while that execution's commit is outstanding.
+        self._reply_seq: Dict[str, int] = {}
+        # Adaptive batching (primary): AIMD batch-size target driven by
+        # the request inter-arrival EWMA; undersized batches are held for
+        # a short window when arrivals suggest more are imminent.
+        self._batch_target = 1
+        self._arrival_ewma: Optional[float] = None
+        self._last_request_at: Optional[float] = None
+        self._hold_event = None
+        self._hold_forced = False
         # seq -> replica -> CheckpointMsg
         self.checkpoint_msgs: Dict[int, Dict[str, CheckpointMsg]] = {}
         self.stable_cert: Tuple[CheckpointMsg, ...] = ()
@@ -134,6 +152,14 @@ class Replica(Node):
     @property
     def high_mark(self) -> int:
         return self.last_stable + self.config.log_window
+
+    @property
+    def committed_frontier(self) -> int:
+        """Highest seq whose execution is durable.  A stable checkpoint
+        counts even if the executions under it were tentative: stability
+        requires 2f+1 replicas to have prepared (and executed) every
+        batch below it, which any view-change quorum preserves."""
+        return max(self.last_committed_exec, self.last_stable)
 
     @property
     def behavior(self) -> Behavior:
@@ -259,6 +285,7 @@ class Replica(Node):
             elif key not in self.pending:
                 self.pending[key] = req
                 self._request_arrival.setdefault(key, self.now)
+                self._note_arrival()
                 self.try_send_pre_prepare()
         else:
             # Relay to the primary (forwarding the client's authenticator)
@@ -270,9 +297,14 @@ class Replica(Node):
 
     def _send_cached_reply(self, client_id: str, request_id: int,
                            result: bytes) -> None:
-        # Retransmissions are rare; always send the full result.
+        # Retransmissions are rare; always send the full result.  A
+        # cached result whose execution has not yet committed is still
+        # tentative — the client must assemble a 2f+1 commit certificate
+        # for it, not a weak f+1 quorum.
+        tentative = (self._reply_seq.get(client_id, 0)
+                     > self.committed_frontier)
         reply = Reply(self.view, request_id, client_id, self.node_id,
-                      result, digest(result))
+                      result, digest(result), tentative)
         self.authenticate_for(reply, client_id)
         self.send(client_id, reply)
 
@@ -283,11 +315,63 @@ class Replica(Node):
                                     self.last_executed, b"", read_only=True)
         result = self.behavior.corrupt_reply_result(result)
         self._reply(req.client_id, req.request_id, result, tentative=True,
-                    force_full=True)
+                    force_full=True, read_only=True)
         self.trace("read_only_executed", client=req.client_id,
                    request_id=req.request_id)
 
     # -- primary: ordering ------------------------------------------------------------
+
+    def _note_arrival(self) -> None:
+        """Track the request inter-arrival EWMA at the primary (feeds the
+        adaptive batch controller's hold-window decision)."""
+        now = self.now
+        if self._last_request_at is not None:
+            gap = now - self._last_request_at
+            ewma = self._arrival_ewma
+            self._arrival_ewma = gap if ewma is None \
+                else 0.8 * ewma + 0.2 * gap
+        self._last_request_at = now
+
+    def _batch_bound(self) -> int:
+        return (self._batch_target if self.config.adaptive_batching
+                else self.config.batch_max)
+
+    def _should_hold_batch(self) -> bool:
+        """Hold an undersized batch briefly when the arrival rate says
+        more requests are imminent; never hold Poisson trickles (EWMA
+        above the window cap) or once the hold window expired."""
+        if not self.config.adaptive_batching or self._hold_forced:
+            return False
+        if len(self.pending) >= self._batch_target:
+            return False
+        ewma = self._arrival_ewma
+        if ewma is None or ewma > self.config.batch_window_max:
+            return False
+        if self._hold_event is not None and not self._hold_event.cancelled:
+            return True
+        deficit = self._batch_target - len(self.pending)
+        window = min(ewma * deficit, self.config.batch_window_max)
+        self._hold_event = self.after(window, self._on_batch_hold)
+        return True
+
+    def _on_batch_hold(self) -> None:
+        self._hold_event = None
+        self._hold_forced = True
+        try:
+            self.try_send_pre_prepare()
+        finally:
+            self._hold_forced = False
+
+    def _note_batch_sent(self, size: int) -> None:
+        """AIMD batch-size target: grow when the bound was binding
+        (batch filled and requests still queued), shrink when batches
+        run at half target or less."""
+        self.tracer.metrics.observe("batch.size", float(size))
+        if size >= self._batch_target and self.pending:
+            self._batch_target = min(self._batch_target * 2,
+                                     self.config.batch_max)
+        elif size * 2 <= self._batch_target:
+            self._batch_target = max(self._batch_target // 2, 1)
 
     def try_send_pre_prepare(self) -> None:
         if not self.is_primary or self.view_changes.active:
@@ -300,8 +384,14 @@ class Replica(Node):
                 return
             if self.seq_assigned + 1 > self.high_mark:
                 return
+            if self._should_hold_batch():
+                return
+            if self._hold_event is not None:
+                self._hold_event.cancel()
+                self._hold_event = None
             batch: List[Request] = []
-            while self.pending and len(batch) < self.config.batch_max:
+            bound = max(self._batch_bound(), 1)
+            while self.pending and len(batch) < bound:
                 key, req = self.pending.popitem(last=False)
                 batch.append(req)
             seq = self.seq_assigned + 1
@@ -327,6 +417,7 @@ class Replica(Node):
             slot = self.log.slot(seq)
             slot.pre_prepare = pp
             slot.phase_marks["pre_prepare"] = self.now
+            self._note_batch_sent(len(batch))
             self._check_prepared(slot)
 
     def _send_equivocating(self, pp: PrePrepare, req: Request) -> None:
@@ -431,6 +522,10 @@ class Replica(Node):
             self.multicast(self.other_replicas, com)
             slot.commits[self.node_id] = com
             self._check_committed(slot)
+            if not slot.executed and self.config.tentative_execution:
+                # Fast path: execute at prepared, before the commit
+                # certificate completes (replies go out tentative).
+                self.try_execute()
 
     def handle_commit(self, src, com: Commit) -> None:
         if self._stash_future(src, com):
@@ -456,36 +551,77 @@ class Replica(Node):
                 self.tracer.observe_phase("prepared_to_committed",
                                           self.now - mark)
             slot.phase_marks["committed"] = self.now
-            self.try_execute()
+            if slot.executed:
+                # Already executed on the fast path; the commit
+                # certificate just made that execution durable.
+                self._advance_committed_frontier()
+            else:
+                self.try_execute()
+
+    def _advance_committed_frontier(self) -> None:
+        """Walk the committed-execution frontier forward, downgrading
+        tentative executions to committed as their certificates land."""
+        seq = self.committed_frontier
+        while seq < self.last_executed:
+            slot = self.log.get(seq + 1)
+            if slot is None or not slot.executed or not slot.committed:
+                break
+            slot.tentative = False
+            seq += 1
+        self.last_committed_exec = seq
+        if not self.waiting and self.committed_frontier >= self.last_executed:
+            self.vc_timer.stop()
 
     # -- execution ------------------------------------------------------------------
 
     def try_execute(self) -> None:
         if self.transfer.active or self.recovery.recovering:
             return
+        fast = (self.config.tentative_execution
+                and not self.view_changes.active)
         while True:
             slot = self.log.get(self.last_executed + 1)
-            if slot is None or not slot.committed or slot.executed:
+            if slot is None or slot.executed:
+                break
+            if slot.committed:
+                tentative = False
+            elif fast and slot.prepared:
+                tentative = True
+            else:
                 break
             pp = slot.pre_prepare
             self.last_executed = slot.seq
             slot.executed = True
-            mark = slot.phase_marks.get("committed")
-            if mark is not None:
-                self.tracer.observe_phase("committed_to_executed",
-                                          self.now - mark)
+            slot.tentative = tentative
+            if tentative:
+                mark = slot.phase_marks.get("prepared")
+                if mark is not None:
+                    self.tracer.observe_phase("prepared_to_executed",
+                                              self.now - mark)
+            else:
+                mark = slot.phase_marks.get("committed")
+                if mark is not None:
+                    self.tracer.observe_phase("committed_to_executed",
+                                              self.now - mark)
             for req in pp.requests:
-                self._execute_request(req, slot.seq, pp.nondet)
+                self._execute_request(req, slot.seq, pp.nondet, tentative)
+            if not tentative and self.committed_frontier == slot.seq - 1:
+                self.last_committed_exec = slot.seq
             if slot.seq % self.config.checkpoint_interval == 0:
                 self._take_checkpoint(slot.seq)
         if self.is_primary:
             self.try_send_pre_prepare()
-        if not self.waiting:
+        # The vc timer guards commit-phase liveness too: a tentatively
+        # executed slot whose certificate never completes must still
+        # depose the primary, so only quiesce once the frontier catches
+        # up to the execution point.
+        if not self.waiting and self.committed_frontier >= self.last_executed:
             self.vc_timer.stop()
         else:
             self.vc_timer.restart()
 
-    def _execute_request(self, req: Request, seq: int, nondet: bytes) -> None:
+    def _execute_request(self, req: Request, seq: int, nondet: bytes,
+                         tentative: bool = False) -> None:
         self.waiting.pop((req.client_id, req.request_id), None)
         self.in_flight.pop((req.client_id, req.request_id), None)
         self._request_arrival.pop((req.client_id, req.request_id), None)
@@ -498,8 +634,9 @@ class Replica(Node):
                                     seq, nondet)
         result = self.behavior.corrupt_reply_result(result)
         self.trace("executed", seq=seq, client=req.client_id,
-                   request_id=req.request_id)
-        self._reply(req.client_id, req.request_id, result, seq=seq)
+                   request_id=req.request_id, tentative=tentative)
+        self._reply(req.client_id, req.request_id, result,
+                    tentative=tentative, seq=seq)
 
     def _safe_execute(self, op: bytes, client_id: str, request_id: int,
                       seq: int, nondet: bytes,
@@ -516,15 +653,21 @@ class Replica(Node):
 
     def _reply(self, client_id: str, request_id: int, result: bytes,
                tentative: bool = False, seq: int = 0,
-               force_full: bool = False) -> None:
+               force_full: bool = False, read_only: bool = False) -> None:
         rdigest = digest(result)
         self.charge(self.costs.digest(len(result)))
         full = (force_full or not self.config.tentative_reply_digests
                 or self._is_designated(seq))
         reply = Reply(self.view, request_id, client_id, self.node_id,
-                      result if full else None, rdigest, tentative)
-        if not tentative:
+                      result if full else None, rdigest, tentative,
+                      read_only)
+        if not read_only:
+            # Every *ordered* execution — tentative included — updates
+            # the reply cache: a rollback reinstalls the cache from the
+            # stable checkpoint blob, so tentative entries never survive
+            # a re-ordering.
             self.client_table[client_id] = (request_id, result)
+            self._reply_seq[client_id] = seq
         self.authenticate_for(reply, client_id)
         self.send(client_id, reply)
 
@@ -629,6 +772,9 @@ class Replica(Node):
             return
         self.last_stable = seq
         self.stable_cert = cert
+        if self.last_committed_exec < seq:
+            self.last_committed_exec = seq
+        self._advance_committed_frontier()
         self.log.truncate_below(seq)
         self.state.discard_checkpoints_below(seq)
         for old in [s for s in self.table_checkpoints if s < seq]:
@@ -641,6 +787,56 @@ class Replica(Node):
             self._ckpt_retry_timer.stop()
         if self.is_primary:
             self.try_send_pre_prepare()  # watermarks moved
+
+    # -- rollback of tentative executions ---------------------------------------------
+
+    def rollback_to_stable(self) -> bool:
+        """Undo tentative executions above the stable checkpoint.
+
+        Invoked when a view change re-orders history past executions we
+        performed at prepared time.  Restores the service state and the
+        client reply cache from the local checkpoint at ``last_stable``
+        and un-marks every retained slot as executed so ``try_execute``
+        replays the new view's order.  Falls back to state transfer when
+        no local checkpoint survives (e.g. it was itself discarded)."""
+        seq = self.last_stable
+        restored = self.state.restore_checkpoint(seq)
+        table = self.table_checkpoints.get(seq)
+        if not restored or table is None:
+            self.trace("rollback_via_transfer", seq=seq)
+            self.tracer.metrics.inc("bft.rollback_via_transfer")
+            if self.stable_cert:
+                self.transfer.initiate(seq, self.stable_cert[0].root_digest,
+                                       self.stable_cert, force=True)
+            return False
+        self.install_client_table(table[1])
+        self._reply_seq.clear()
+        self.last_executed = seq
+        self.last_committed_exec = seq
+        for s in self.log.seqs():
+            slot = self.log.get(s)
+            slot.executed = False
+            slot.tentative = False
+        # Our own checkpoints above the stable one described rolled-back
+        # state; drop them (peers' votes for those seqs remain valid — a
+        # batch tentatively executed by f+1 correct replicas is preserved
+        # by every view change, so their announcements never certify
+        # state that rollback erased).
+        for s in [s for s in self.table_checkpoints if s > seq]:
+            del self.table_checkpoints[s]
+        if self._latest_checkpoint_msg is not None \
+                and self._latest_checkpoint_msg.seq > seq:
+            self._latest_checkpoint_msg = None
+            self._ckpt_retry_timer.stop()
+        self.trace("rollback", seq=seq)
+        self.tracer.metrics.inc("bft.rollback")
+        # One-shot completion hooks (FaultLab records RollbackEntry
+        # evidence through the same channel as state transfer).
+        callbacks = self.transfer.completion_callbacks
+        self.transfer.completion_callbacks = []
+        for cb in callbacks:
+            cb(seq)
+        return True
 
     # -- view changes (delegated) --------------------------------------------------------
 

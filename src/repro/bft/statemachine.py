@@ -64,6 +64,14 @@ class StateManager(abc.ABC):
     def checkpoint_root(self, seq: int) -> Optional[bytes]:
         """Root digest of the retained checkpoint at ``seq``, if any."""
 
+    def restore_checkpoint(self, seq: int) -> bool:
+        """Roll the live state back to the retained checkpoint at ``seq``,
+        discarding any retained checkpoints above it (they describe
+        executions being rolled back).  Returns False when no such
+        checkpoint is retained — the caller falls back to state transfer.
+        Default: unsupported."""
+        return False
+
     # -- state transfer: serving side -------------------------------------------
 
     @abc.abstractmethod
@@ -157,12 +165,23 @@ class InMemoryStateManager(StateManager):
 
     # -- StateManager ------------------------------------------------------------
 
+    #: Decoded-op memo shared by every instance: all replicas in a group
+    #: execute the same op bytes, so the first decode serves the rest.
+    #: Bounded; cleared wholesale when full (ops are tiny tuples).
+    _OP_CACHE: Dict[bytes, tuple] = {}
+    _OP_CACHE_MAX = 8192
+
     def execute(self, op: bytes, client_id: str, request_id: int, seq: int,
                 nondet: bytes, read_only: bool = False) -> bytes:
         self.executed_ops.append((client_id, request_id, seq, op))
         if op == b"":
             return b"null"
-        decoded = decanonical(op)
+        decoded = self._OP_CACHE.get(op)
+        if decoded is None:
+            decoded = decanonical(op)
+            if len(self._OP_CACHE) >= self._OP_CACHE_MAX:
+                self._OP_CACHE.clear()
+            self._OP_CACHE[op] = decoded
         kind = decoded[0]
         if kind == "put":
             _, slot, value = decoded
@@ -187,6 +206,20 @@ class InMemoryStateManager(StateManager):
     def checkpoint_root(self, seq: int) -> Optional[bytes]:
         entry = self._checkpoints.get(seq)
         return entry[0].root_digest if entry else None
+
+    def restore_checkpoint(self, seq: int) -> bool:
+        entry = self._checkpoints.get(seq)
+        if entry is None:
+            return False
+        snap, values = entry
+        self.values = list(values)
+        leaf_digests = snap.digests[-1]
+        leaf_lms = snap.lms[-1]
+        for i in range(self.size):
+            self._tree.set_leaf(i, leaf_digests[i], leaf_lms[i])
+        for s in [s for s in self._checkpoints if s > seq]:
+            del self._checkpoints[s]
+        return True
 
     def meta_children(self, seq: int, level: int, index: int):
         entry = self._checkpoints.get(seq)

@@ -322,6 +322,9 @@ class StateTransferManager:
         r.table_checkpoints[self.target_seq] = (digest(table_blob), table_blob)
         r.last_executed = self.target_seq
         r.last_stable = self.target_seq
+        # The installed checkpoint carries a 2f+1 certificate — every
+        # execution under it is durable.
+        r.last_committed_exec = self.target_seq
         r.stable_cert = self.cert
         r.log.truncate_below(self.target_seq)
         # If this was a rollback to the stable checkpoint (recovery or
@@ -329,7 +332,9 @@ class StateTransferManager:
         # replay: clear their executed flags so try_execute re-runs them
         # against the restored state.
         for seq in r.log.seqs():
-            r.log.slot(seq).executed = False
+            slot = r.log.slot(seq)
+            slot.executed = False
+            slot.tentative = False
         r.state.discard_checkpoints_below(self.target_seq)
         for old in [s for s in r.table_checkpoints if s < self.target_seq]:
             del r.table_checkpoints[old]

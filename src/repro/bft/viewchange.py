@@ -234,6 +234,25 @@ class ViewChangeManager:
             del self.received[v]
 
         min_s = max(vc.last_stable for vc in vcs)
+        # Fast-path rollback: executions performed at prepared time are
+        # only durable if the new view re-proposes the same batch at the
+        # same seq.  Any tentatively executed slot the NEW-VIEW re-orders
+        # (different batch), drops (not re-proposed), or subsumes under a
+        # stable checkpoint we lack must be undone before the slot resets
+        # below overwrite the evidence.
+        new_pps = {pp.seq: pp for pp in pre_prepares}
+        for seq in r.log.seqs():
+            slot = r.log.get(seq)
+            if seq <= r.last_stable or not slot.executed \
+                    or not slot.tentative:
+                continue
+            pp = new_pps.get(seq)
+            if (pp is None or slot.pre_prepare is None
+                    or pp.batch_digest() != slot.pre_prepare.batch_digest()):
+                r.trace("tentative_reordered", seq=seq, view=view)
+                r.rollback_to_stable()
+                break
+
         # If others progressed to a stable checkpoint we do not have, fetch.
         if min_s > r.last_stable:
             donor_vc = next(vc for vc in vcs if vc.last_stable == min_s)
@@ -268,6 +287,7 @@ class ViewChangeManager:
             slot.committed = False
             slot.phase_marks = {"pre_prepare": r.now}
             slot.executed = slot.executed and pp.seq <= r.last_executed
+            slot.tentative = slot.tentative and slot.executed
             if not r.is_primary:
                 prep = Prepare(view, pp.seq, pp.batch_digest(), r.node_id)
                 r.authenticate(prep)

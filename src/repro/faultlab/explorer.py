@@ -113,6 +113,10 @@ class TrialResult:
     wall_seconds: float
     faults_injected: int
     faults_cleared: int
+    #: Tentative executions undone during the trial (in-place restores
+    #: plus state-transfer fallbacks) — the fast path's rollback
+    #: machinery actually firing, not just being available.
+    rollbacks: int = 0
 
     @property
     def ok(self) -> bool:
@@ -138,6 +142,7 @@ class TrialResult:
             "wall_seconds": round(self.wall_seconds, 3),
             "faults_injected": self.faults_injected,
             "faults_cleared": self.faults_cleared,
+            "rollbacks": self.rollbacks,
         }
 
 
@@ -191,12 +196,12 @@ def _record_accepts(cluster, accepted: List[AcceptedReply]) -> None:
     for client in cluster.clients.values():
         original = client._accept
 
-        def shim(result, _client=client, _original=original):
+        def shim(result, *args, _client=client, _original=original):
             call = _client._pending
             accepted.append(AcceptedReply(_client.node_id,
                                           call.request.request_id,
                                           digest(result), _client.now))
-            _original(result)
+            _original(result, *args)
 
         client._accept = shim
 
@@ -425,6 +430,7 @@ def run_trial(scenario: ScenarioRef, seed: int,
         scenario.expect_liveness, scenario.duration)
     if sharded is not None:
         violations.extend(_check_sharded(sharded, plan))
+    metrics = cluster.metrics
     return TrialResult(
         scenario=scenario.name, seed=seed, plan=plan, violations=violations,
         issued=sum(s.issued for s in scripts)
@@ -433,7 +439,9 @@ def run_trial(scenario: ScenarioRef, seed: int,
         + (driver.completed if driver is not None else 0),
         sim_seconds=scheduler.now,
         wall_seconds=time.perf_counter() - started,
-        faults_injected=injector.injected, faults_cleared=injector.cleared)
+        faults_injected=injector.injected, faults_cleared=injector.cleared,
+        rollbacks=metrics.counter_value("bft.rollback")
+        + metrics.counter_value("bft.rollback_via_transfer"))
 
 
 def replay_trial(scenario: ScenarioRef, seed: int,

@@ -13,7 +13,7 @@ from typing import Any, Dict
 
 from repro.faultlab.explorer import SweepResult, TrialResult
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2  # v2: trial documents report the rollback count
 
 
 def trial_report(result: TrialResult) -> Dict[str, Any]:
@@ -77,6 +77,7 @@ _TRIAL_FIELDS = {
     "wall_seconds": float,
     "faults_injected": int,
     "faults_cleared": int,
+    "rollbacks": int,
 }
 
 _SWEEP_FIELDS = {

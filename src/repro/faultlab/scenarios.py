@@ -326,6 +326,40 @@ def _plan_shard_primary_partition(rng: random.Random) -> FaultPlan:
     return FaultPlan((PartitionFault((0,), start=start, stop=stop),))
 
 
+def _plan_tentative_viewchange(rng: random.Random) -> FaultPlan:
+    """The fast path's worst moment: the view-0 primary crashes
+    mid-burst while message loss keeps the commit phase from finishing,
+    so replicas hold *tentatively executed but uncommitted* batches
+    across the view change.  The loss window also makes prepare
+    certificates asymmetric (one replica may reach prepared and execute
+    while its peers never do), which is exactly the shape where a
+    NEW-VIEW built from the other replicas' VIEW-CHANGE messages fails
+    to re-propose a tentatively executed batch — forcing the rollback
+    path rather than merely threatening it.  The primary returns, so
+    later view changes run with four live replicas and a 2f+1 quorum
+    that can exclude the tentative executor's certificate."""
+    # Loss opens at t=0 so the first view changes run while all four
+    # replicas are still up: a 2f+1 certificate chosen from four
+    # VIEW-CHANGEs is what can exclude the tentative executor's
+    # prepared certificate (with only three alive, all three VCs are
+    # needed and every certificate survives).  The primary crashes
+    # after that churn has started, mid view change.
+    loss_stop = round(rng.uniform(2.5, 3.5), 3)
+    crash_at = round(rng.uniform(1.2, 2.0), 3)
+    faults = [
+        LossFault(round(rng.uniform(0.4, 0.6), 3), start=0.0,
+                  stop=loss_stop),
+        CrashFault(0, start=crash_at,
+                   stop=round(crash_at + rng.uniform(1.0, 2.0), 3)),
+    ]
+    if rng.random() < 0.5:
+        # Jitter message arrival so which 2f+1 VIEW-CHANGEs form the
+        # new-view certificate varies across seeds.
+        faults.append(DelaySpikeFault(round(rng.uniform(0.005, 0.02), 4),
+                                      start=0.0, stop=loss_stop))
+    return FaultPlan(tuple(faults))
+
+
 def _plan_beyond_f_wrong_reply(rng: random.Random) -> FaultPlan:
     """Deliberately beyond f: two colluding wrong-reply replicas can mint
     an f+1 vote for a result no correct replica computed.  Kept out of
@@ -484,6 +518,22 @@ register_scenario(Scenario(
     shards=2,
     n_clients=1,
     ops_per_client=8,
+    duration=60.0,
+    settle=15.0,
+))
+
+register_scenario(Scenario(
+    name="tentative_viewchange",
+    description="Primary crash with tentatively executed but "
+                "uncommitted batches: loss stalls the commit phase while "
+                "replicas execute at prepared, the view change re-orders "
+                "or drops some of those batches, and the rollback "
+                "machinery must undo them without breaking reply "
+                "validity or agreement.",
+    plan=_plan_tentative_viewchange,
+    config=dict(_FAST_CFG),
+    n_clients=3,
+    ops_per_client=10,
     duration=60.0,
     settle=15.0,
 ))

@@ -158,7 +158,7 @@ def run_selftest(ops: int = 25, verbose: bool = True) -> Metrics:
 
     metrics = cluster.metrics
     for phase in ("request_to_pre_prepare", "pre_prepare_to_prepared",
-                  "prepared_to_committed", "committed_to_executed",
+                  "prepared_to_committed", "prepared_to_executed",
                   "request_to_reply"):
         hist = metrics.histograms.get(f"phase.{phase}")
         assert hist is not None and hist.count > 0, \

@@ -104,12 +104,14 @@ class Network:
 
     # -- transmission -------------------------------------------------------
 
-    def send(self, src: Any, dst: Any, msg: Any, size: Optional[int] = None) -> None:
+    def send(self, src: Any, dst: Any, msg: Any, size: Optional[int] = None,
+             extra_delay: float = 0.0) -> None:
         """Send ``msg`` from ``src`` to ``dst``.
 
         ``size`` is the wire size in bytes used for the bandwidth charge;
         when omitted the message's ``wire_size()`` is used if present,
-        else a small fixed size.
+        else a small fixed size.  ``extra_delay`` shifts the departure
+        (a busy sender's CPU backlog) without a trampoline event.
         """
         self.messages_sent += 1
         nbytes = self._size_of(msg, size)
@@ -128,18 +130,20 @@ class Network:
         if link.drop_rate and self.rng.random() < link.drop_rate:
             self.messages_dropped += 1
             return
-        delay = self._sample_delay(link, nbytes)
+        delay = extra_delay + self._sample_delay(link, nbytes)
         self.scheduler.schedule(delay, self._deliver, src, dst, msg)
         if link.duplicate_rate and self.rng.random() < link.duplicate_rate:
             # The duplicate takes its own trip through the network: an
             # independently sampled delay, not a deterministic doubling
             # (it may even arrive before the original).
             self.messages_duplicated += 1
-            self.scheduler.schedule(self._sample_delay(link, nbytes),
-                                    self._deliver, src, dst, msg)
+            self.scheduler.schedule(
+                extra_delay + self._sample_delay(link, nbytes),
+                self._deliver, src, dst, msg)
 
     def multicast(self, src: Any, dsts: Iterable[Any], msg: Any,
-                  size: Optional[int] = None) -> None:
+                  size: Optional[int] = None,
+                  extra_delay: float = 0.0) -> None:
         """True IP multicast: the sender serializes the message *once*
         (it counts once against ``bytes_sent``), but each destination is
         charged the serialization delay of *its own* link — a slow edge
@@ -171,7 +175,7 @@ class Network:
             if link.drop_rate and self.rng.random() < link.drop_rate:
                 self.messages_dropped += 1
                 continue
-            delay = self._sample_delay(link, nbytes)
+            delay = extra_delay + self._sample_delay(link, nbytes)
             schedule(delay, self._deliver, src, dst, msg)
             entered = True
         if entered:

@@ -13,6 +13,13 @@ class Timer:
 
     Mirrors the timers BFT uses (view-change timer, recovery watchdog):
     ``start`` arms it, ``stop`` disarms, ``restart`` re-arms from now.
+
+    Restarts are *lazy*: protocol code restarts its timers far more often
+    than they fire (the view-change timer is pushed out on every
+    execution), so pushing the deadline later only records the new
+    deadline instead of cancelling and re-scheduling an event.  When the
+    stale event fires early, it quietly re-arms for the remaining time.
+    Only a restart to an *earlier* deadline touches the queue.
     """
 
     def __init__(self, scheduler: Scheduler, period: float,
@@ -21,6 +28,7 @@ class Timer:
         self.period = period
         self.callback = callback
         self._event: Optional[Event] = None
+        self._deadline = 0.0   # when the callback should actually run
 
     @property
     def running(self) -> bool:
@@ -38,6 +46,7 @@ class Timer:
             self.period = period
         if self.running:
             return
+        self._deadline = self.scheduler._now + self.period
         self._event = self.scheduler.schedule(self.period, self._fire)
 
     def stop(self) -> None:
@@ -46,10 +55,25 @@ class Timer:
             self._event = None
 
     def restart(self, period: Optional[float] = None) -> None:
+        if period is not None:
+            self.period = period
+        deadline = self.scheduler._now + self.period
+        if self.running and self._event.time <= deadline:
+            # The queued event fires no later than the new deadline:
+            # leave it and let _fire re-arm for the remainder.
+            self._deadline = deadline
+            return
         self.stop()
-        self.start(period)
+        self.start()
 
     def _fire(self) -> None:
+        if self._deadline > self.scheduler._now:
+            # Deadline was lazily pushed out past this event: re-arm once
+            # for the remainder instead of having churned the queue on
+            # every restart in between.
+            self._event = self.scheduler.schedule(
+                self._deadline - self.scheduler._now, self._fire)
+            return
         self._event = None
         self.callback()
 
@@ -101,22 +125,19 @@ class Node:
     def send(self, dst: Any, msg: Any, size: Optional[int] = None) -> None:
         if self._crashed:
             return
+        # A busy sender's CPU backlog shifts the departure; the network
+        # folds it into the delivery delay rather than running a
+        # trampoline event at busy_until (same timing, one event fewer).
         delay = self.busy_until - self.scheduler._now
-        if delay > 0:
-            self.scheduler.schedule(delay, self.network.send, self.node_id,
-                                    dst, msg, size)
-        else:
-            self.network.send(self.node_id, dst, msg, size=size)
+        self.network.send(self.node_id, dst, msg, size=size,
+                          extra_delay=delay if delay > 0 else 0.0)
 
     def multicast(self, dsts, msg: Any, size: Optional[int] = None) -> None:
         if self._crashed:
             return
         delay = self.busy_until - self.scheduler._now
-        if delay > 0:
-            self.scheduler.schedule(delay, self.network.multicast,
-                                    self.node_id, list(dsts), msg, size)
-        else:
-            self.network.multicast(self.node_id, dsts, msg, size=size)
+        self.network.multicast(self.node_id, dsts, msg, size=size,
+                               extra_delay=delay if delay > 0 else 0.0)
 
     def on_message(self, src: Any, msg: Any) -> None:
         """Dispatch to ``handle_<type>`` by the message's ``kind`` attribute."""

@@ -21,8 +21,9 @@ from repro.sim.metrics import Histogram, Metrics, Span
 PHASES = (
     "request_to_pre_prepare",   # primary: request arrival -> pre-prepare sent
     "pre_prepare_to_prepared",  # pre-prepare accepted -> prepared certificate
+    "prepared_to_executed",     # prepared -> tentative execution (fast path)
     "prepared_to_committed",    # prepared -> committed-local
-    "committed_to_executed",    # committed -> executed (in-order)
+    "committed_to_executed",    # committed -> executed (slow path)
     "request_to_reply",         # client: invoke -> result accepted
     "view_change",              # VIEW-CHANGE sent -> new view entered
     "state_transfer",           # transfer initiated -> checkpoint installed

@@ -135,6 +135,59 @@ def test_read_only_falls_back_to_ordered_path():
     assert cluster.tracer.find("pre_prepare_sent")
 
 
+def test_stale_read_only_attempt_votes_never_survive_the_fallback():
+    """Regression for the read-only -> ordered fallback bookkeeping:
+    votes gathered while the call was read-only (including *tentative*
+    votes from lying replicas) must be discarded when the call is
+    re-issued through ordering, or f Byzantine replicas could bank votes
+    against the read attempt and complete a 2f+1 certificate for a
+    result no correct replica computed once one more vote lands after
+    the fallback."""
+    cluster = make_kv_cluster(client_retry_timeout=0.2)
+    sync = cluster.add_client("client0")
+    sync.call(put(5, b"right"))
+    client = cluster.clients["client0"]
+
+    # Stall the read-only attempt: no read-only reply ever arrives.
+    cluster.network.add_filter(
+        lambda src, dst, msg: not (getattr(msg, "kind", "") == "reply"
+                                   and msg.read_only))
+    box = {}
+    client.invoke(get(5), lambda res: box.update(r=res), read_only=True)
+    request_id = client._next_request_id
+    cluster.run(0.05)
+
+    def stale_tentative(replica_id):
+        reply = Reply(0, request_id, "client0", replica_id, b"stale",
+                      digest(b"stale"), tentative=True)
+        reply.auth = Authenticator.create(cluster.registry, replica_id,
+                                          ["client0"], reply.digest())
+        return reply
+
+    # Two colluders bank tentative votes during the read-only attempt.
+    client.on_message("replica2", stale_tentative("replica2"))
+    client.on_message("replica3", stale_tentative("replica3"))
+    assert "r" not in box
+    assert len(client._pending.tentative_votes[digest(b"stale")]) == 2
+
+    # Two retry timeouts later the call falls back to the ordered path;
+    # every read-only-era vote must be gone.
+    cluster.run_until(lambda: client._pending is None
+                      or not client._pending.read_only)
+    assert client._pending is not None and not client._pending.read_only
+    assert not client._pending.tentative_votes
+    assert not client._pending.ro_votes
+    assert not client._pending.votes
+
+    # A third stale vote lands after the fallback: had the first two
+    # survived, this would complete a bogus 2f+1 commit certificate.
+    client.on_message("replica1", stale_tentative("replica1"))
+    assert "r" not in box
+    cluster.run_until(lambda: "r" in box)
+    assert box["r"] == b"right"
+    assert cluster.metrics.counter_value("client.read_only_fallbacks") == 1
+
+
 def test_unauthenticated_replies_never_reach_a_quorum():
     """Regression: auth-less replies used to be counted as quorum votes
     (the MAC check was skipped when ``reply.auth is None``), so f+1

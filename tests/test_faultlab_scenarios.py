@@ -61,6 +61,28 @@ def test_sharded_checks_flag_a_missing_view_change():
     assert [v.invariant for v in result.violations] == ["shard_view_change"]
 
 
+def test_tentative_viewchange_is_swept_and_rolls_back():
+    # The scenario exists to prove the fast path's rollback machinery
+    # under view changes: every seed must hold the full invariant suite
+    # (reply validity and agreement included), and across a handful of
+    # seeds the rollback must actually fire — a trial where no replica
+    # ever undoes a tentative execution exercises nothing.
+    assert "tentative_viewchange" in SWEPT
+    rollbacks = 0
+    for seed in range(4):
+        result = run_trial("tentative_viewchange", seed)
+        assert result.ok, (seed, [str(v) for v in result.violations])
+        assert result.accepted == result.issued > 0, seed
+        rollbacks += result.rollbacks
+    assert rollbacks > 0, "no trial rolled back a tentative execution"
+
+
+def test_trial_reports_carry_the_rollback_count():
+    result = run_trial("tentative_viewchange", 0)
+    doc = result.to_dict()
+    assert doc["rollbacks"] == result.rollbacks >= 0
+
+
 def test_cli_list_and_run(capsys):
     assert main(["list"]) == 0
     out = capsys.readouterr().out

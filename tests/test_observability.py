@@ -254,8 +254,10 @@ def test_normal_case_populates_phase_histograms():
     for i in range(10):
         client.call(put(i % 8, b"v%d" % i))
     metrics = cluster.metrics
+    # With tentative execution on (the default), execution happens at
+    # prepared time, so the fast-path phase replaces committed_to_executed.
     for phase in ("request_to_pre_prepare", "pre_prepare_to_prepared",
-                  "prepared_to_committed", "committed_to_executed",
+                  "prepared_to_committed", "prepared_to_executed",
                   "request_to_reply"):
         hist = metrics.histograms.get(f"phase.{phase}")
         assert hist is not None and hist.count > 0, phase
@@ -325,8 +327,8 @@ def test_phase_breakdown_table_renders_in_protocol_order():
     lines = table.splitlines()
     order = [line.split()[0] for line in lines[3:] if line.strip()]
     assert order.index("pre_prepare_to_prepared") \
+        < order.index("prepared_to_executed") \
         < order.index("prepared_to_committed") \
-        < order.index("committed_to_executed") \
         < order.index("request_to_reply")
 
 

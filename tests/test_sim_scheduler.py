@@ -3,10 +3,21 @@
 import pytest
 
 from repro.sim import Scheduler
+from repro.sim.scheduler import (
+    DEFAULT_BACKEND,
+    SCHEDULER_BACKENDS,
+    CalendarScheduler,
+    make_scheduler,
+)
 
 
-def test_events_run_in_time_order():
-    sched = Scheduler()
+@pytest.fixture(params=sorted(SCHEDULER_BACKENDS))
+def sched(request):
+    """Every behavioral test runs against both event-queue backends."""
+    return make_scheduler(request.param)
+
+
+def test_events_run_in_time_order(sched):
     order = []
     sched.schedule(3.0, order.append, "c")
     sched.schedule(1.0, order.append, "a")
@@ -15,8 +26,7 @@ def test_events_run_in_time_order():
     assert order == ["a", "b", "c"]
 
 
-def test_same_time_events_run_fifo():
-    sched = Scheduler()
+def test_same_time_events_run_fifo(sched):
     order = []
     for i in range(10):
         sched.schedule(1.0, order.append, i)
@@ -24,8 +34,7 @@ def test_same_time_events_run_fifo():
     assert order == list(range(10))
 
 
-def test_clock_advances_to_event_time():
-    sched = Scheduler()
+def test_clock_advances_to_event_time(sched):
     seen = []
     sched.schedule(2.5, lambda: seen.append(sched.now))
     sched.run()
@@ -33,8 +42,7 @@ def test_clock_advances_to_event_time():
     assert sched.now == 2.5
 
 
-def test_cancelled_event_does_not_fire():
-    sched = Scheduler()
+def test_cancelled_event_does_not_fire(sched):
     fired = []
     ev = sched.schedule(1.0, fired.append, "x")
     ev.cancel()
@@ -42,14 +50,12 @@ def test_cancelled_event_does_not_fire():
     assert fired == []
 
 
-def test_negative_delay_rejected():
-    sched = Scheduler()
+def test_negative_delay_rejected(sched):
     with pytest.raises(ValueError):
         sched.schedule(-0.1, lambda: None)
 
 
-def test_events_scheduled_during_run_execute():
-    sched = Scheduler()
+def test_events_scheduled_during_run_execute(sched):
     order = []
 
     def outer():
@@ -62,8 +68,7 @@ def test_events_scheduled_during_run_execute():
     assert sched.now == 2.0
 
 
-def test_run_until_stops_at_time_and_advances_clock():
-    sched = Scheduler()
+def test_run_until_stops_at_time_and_advances_clock(sched):
     fired = []
     sched.schedule(1.0, fired.append, 1)
     sched.schedule(5.0, fired.append, 5)
@@ -74,8 +79,7 @@ def test_run_until_stops_at_time_and_advances_clock():
     assert fired == [1, 5]
 
 
-def test_run_until_idle_or_predicate():
-    sched = Scheduler()
+def test_run_until_idle_or_predicate(sched):
     state = {"done": False}
     sched.schedule(1.0, lambda: None)
     sched.schedule(2.0, lambda: state.update(done=True))
@@ -83,22 +87,19 @@ def test_run_until_idle_or_predicate():
     assert sched.run_until_idle_or(lambda: state["done"])
 
 
-def test_run_until_idle_or_returns_false_when_queue_drains():
-    sched = Scheduler()
+def test_run_until_idle_or_returns_false_when_queue_drains(sched):
     sched.schedule(1.0, lambda: None)
     assert not sched.run_until_idle_or(lambda: False)
 
 
-def test_schedule_at_absolute_time():
-    sched = Scheduler()
+def test_schedule_at_absolute_time(sched):
     seen = []
     sched.schedule(1.0, lambda: sched.schedule_at(5.0, lambda: seen.append(sched.now)))
     sched.run()
     assert seen == [5.0]
 
 
-def test_halt_stops_run():
-    sched = Scheduler()
+def test_halt_stops_run(sched):
     order = []
     sched.schedule(1.0, order.append, "a")
     sched.schedule(2.0, sched.halt)
@@ -109,16 +110,14 @@ def test_halt_stops_run():
     assert order == ["a", "c"]
 
 
-def test_pending_counts_uncancelled():
-    sched = Scheduler()
+def test_pending_counts_uncancelled(sched):
     e1 = sched.schedule(1.0, lambda: None)
     sched.schedule(2.0, lambda: None)
     e1.cancel()
     assert sched.pending() == 1
 
 
-def test_cancel_compacts_queue_and_pending_stays_exact():
-    sched = Scheduler()
+def test_cancel_compacts_queue_and_pending_stays_exact(sched):
     events = [sched.schedule(i + 1.0, lambda: None) for i in range(1000)]
     assert sched.pending() == 1000
     for e in events[:900]:
@@ -131,8 +130,7 @@ def test_cancel_compacts_queue_and_pending_stays_exact():
     assert sched.pending() == 0
 
 
-def test_late_and_double_cancels_do_not_skew_pending():
-    sched = Scheduler()
+def test_late_and_double_cancels_do_not_skew_pending(sched):
     e1 = sched.schedule(1.0, lambda: None)
     e2 = sched.schedule(2.0, lambda: None)
     assert sched.step()       # fires e1
@@ -144,8 +142,7 @@ def test_late_and_double_cancels_do_not_skew_pending():
     assert sched.run() == 0
 
 
-def test_events_run_counter_is_cumulative():
-    sched = Scheduler()
+def test_events_run_counter_is_cumulative(sched):
     for i in range(5):
         sched.schedule(float(i), lambda: None)
     cancelled = sched.schedule(10.0, lambda: None)
@@ -155,3 +152,73 @@ def test_events_run_counter_is_cumulative():
     sched.schedule(1.0, lambda: None)
     sched.run()
     assert sched.events_run == 6
+
+
+# -- backend differential -----------------------------------------------------------
+
+
+def test_make_scheduler_resolves_backends():
+    assert isinstance(make_scheduler(), SCHEDULER_BACKENDS[DEFAULT_BACKEND])
+    assert type(make_scheduler("heap")) is Scheduler
+    assert type(make_scheduler("calendar")) is CalendarScheduler
+    with pytest.raises(ValueError):
+        make_scheduler("fibonacci")
+
+
+def _drive_trace(scheduler, seed: int):
+    """One seeded chaos trace: mixed near/far delays (the far ones land
+    in the calendar's overflow heap), mid-run cancels, and callbacks
+    that schedule follow-ups.  Returns the exact firing order.
+
+    Both backends replay the same RNG stream *as long as* they fire
+    events in the same order — any ordering divergence desynchronizes
+    the draws and shows up as a blunt list mismatch."""
+    import random
+    rng = random.Random(f"sched-diff:{seed}")
+    fired = []
+    live = []
+    delays = (0.0, 1e-6, 3e-5, 1e-4, 7e-4, 0.004, 0.05, 0.4, 2.0, 30.0)
+
+    def make_cb(label, depth):
+        def cb():
+            fired.append((label, round(scheduler.now, 12)))
+            if depth and rng.random() < 0.4:
+                live.append(scheduler.schedule(
+                    rng.choice(delays) + rng.random() * 1e-3,
+                    make_cb(label + "+", depth - 1)))
+            if rng.random() < 0.1 and live:
+                live.pop(rng.randrange(len(live))).cancel()
+        return cb
+
+    for i in range(300):
+        live.append(scheduler.schedule(
+            rng.choice(delays) * (1.0 + rng.random()), make_cb(f"e{i}", 2)))
+        if rng.random() < 0.15 and live:
+            live.pop(rng.randrange(len(live))).cancel()
+    scheduler.run(50_000)
+    return fired
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_calendar_orders_identically_to_heap_on_seeded_traces(seed):
+    heap_trace = _drive_trace(Scheduler(), seed)
+    calendar_trace = _drive_trace(CalendarScheduler(), seed)
+    assert len(heap_trace) > 300
+    assert heap_trace == calendar_trace
+
+
+def test_calendar_run_until_matches_heap_midstream():
+    # Interleaved run_until windows (including windows with no events)
+    # must leave both backends at the same clock with the same backlog.
+    traces = []
+    for scheduler in (Scheduler(), CalendarScheduler()):
+        order = []
+        for i in range(40):
+            scheduler.schedule(0.015 * i + 1e-4, order.append, i)
+        scheduler.schedule(9.0, order.append, "far")
+        for horizon in (0.01, 0.02, 0.2, 0.21, 5.0, 10.0):
+            scheduler.run_until(horizon)
+            order.append(("at", round(scheduler.now, 12),
+                          scheduler.pending()))
+        traces.append(order)
+    assert traces[0] == traces[1]
