@@ -80,6 +80,12 @@ def main(argv=None) -> int:
                       for p in ss["sweep"])
     print(f"sharded_scaling: {ss['scaling_factor']:.2f}x simulated req/s "
           f"at {ss['sweep'][-1]['shards']} shards vs 1 ({rates})")
+    er = report["scenarios"]["edge_read"]
+    speedup = (er["requests_per_sec"]
+               / report["scenarios"]["read_heavy"]["requests_per_sec"])
+    print(f"edge_read: {speedup:.1f}x read_heavy req/s "
+          f"({er['degraded_reads']} cache-served bounded-stale reads, "
+          f"digest {er['record_digest'][:12]})")
     return 0
 
 

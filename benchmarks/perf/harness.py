@@ -43,6 +43,15 @@ every group).  Like ``open_loop`` it repeats with one seed and demands
 bit-identical sweeps, using the router's per-shard rolling digest
 chains as the O(1) witness that every repeat routed and observed the
 same bytes.
+
+A sixth scenario, ``edge_read``, measures the EdgeTier's headline
+claim: after warming the tier with linearizable (quorum) reads and then
+partitioning the edge from the core, bounded-stale serves come straight
+from the lease cache — no messages, no quorum — so read throughput must
+beat ``read_heavy``'s by at least :data:`EDGE_READ_MIN_SPEEDUP`.  The
+validator enforces the cross-check; a rolling digest over every served
+``(result, mode)`` record, compared across two identical-seed repeats,
+is the determinism witness.
 """
 
 from __future__ import annotations
@@ -61,9 +70,9 @@ from repro.harness.cluster import Cluster, build_cluster
 from repro.sim.metrics import Metrics
 from repro.sim.scheduler import DEFAULT_BACKEND
 
-BENCH_ID = 6
-SCHEMA_VERSION = 4  # v4: read_heavy + fast-path hit rates, batch-size
-#                     histograms, scheduler_backend tag
+BENCH_ID = 7
+SCHEMA_VERSION = 5  # v5: edge_read scenario (cache-served staleness-bounded
+#                     reads vs the quorum read path)
 
 put = InMemoryStateManager.op_put
 get = InMemoryStateManager.op_get
@@ -452,6 +461,101 @@ def run_sharded_scaling(quick: bool, repeats: int = 2) -> Dict[str, object]:
     }
 
 
+# -- the edge-read scenario ---------------------------------------------------
+#
+# Warm the EdgeTier with linearizable reads (full quorum protocol), cut
+# the edge off from the core, then serve a large batch of bounded-stale
+# reads from the lease cache.  Cache serves move no messages and burn no
+# simulated time, so this measures the edge serving path itself — the
+# speedup over read_heavy is the subsystem's reason to exist, and the
+# validator refuses the report if it is not there.
+
+EDGE_READ_SEED = 3
+EDGE_READ_SLOTS = 16
+EDGE_READ_DELTA = 60.0             # lease ttl: every degraded serve is a hit
+#: mode -> (warm linearizable reads, degraded cache-hit reads)
+EDGE_READ_MODES = {"full": (64, 4000), "quick": (16, 800)}
+#: edge_read req/s must beat read_heavy req/s by at least this factor.
+EDGE_READ_MIN_SPEEDUP = 2.0
+
+
+def _edge_read_once(warm_reads: int, degraded_reads: int):
+    """One edge_read repeat; returns (cluster, requests, digest chain)."""
+    from repro.crypto.digest import digest as _digest
+    from repro.edge import BOUNDED_STALE, LINEARIZABLE, EdgeTier
+
+    cluster = _build(EDGE_READ_SEED, checkpoint_interval=16, batch_max=8)
+    client = cluster.add_client("warmup", costs=C.PROTOCOL_COSTS)
+    for key in range(EDGE_READ_SLOTS):
+        client.call(put(key, b"edge%d" % key))
+    tier = EdgeTier.for_cluster(cluster, delta=EDGE_READ_DELTA,
+                                read_timeout=0.05, failure_threshold=1,
+                                cooldown=3600.0, costs=C.PROTOCOL_COSTS)
+    for i in range(warm_reads):
+        reply = tier.read(get(i % EDGE_READ_SLOTS))
+        if reply.mode != LINEARIZABLE:
+            raise RuntimeError("edge_read warmup left the linearizable path")
+    edge_ids = set(tier.edge_node_ids)
+    for edge_id in sorted(edge_ids):
+        for other in cluster.network.node_ids():
+            if other not in edge_ids:
+                cluster.network.partition(edge_id, other)
+    for i in range(degraded_reads):
+        reply = tier.read(get(i % EDGE_READ_SLOTS))
+        if reply.mode != BOUNDED_STALE:
+            raise RuntimeError(f"edge_read degraded serve {i} came back "
+                               f"{reply.mode}, expected bounded_stale")
+    chain = b""
+    for record in tier.records:
+        chain = _digest(chain + record.result_digest + record.mode.encode())
+    return cluster, warm_reads + degraded_reads, chain.hex()
+
+
+def run_edge_read(quick: bool, repeats: int = 2) -> Dict[str, object]:
+    """Run the edge-read scenario ``repeats`` times with one seed.
+
+    Every repeat must reproduce the served-record digest chain bit for
+    bit — same results, same modes, same order — so the CI smoke job
+    doubles as the edge tier's determinism regression.
+    """
+    warm_reads, degraded_reads = \
+        EDGE_READ_MODES["quick" if quick else "full"]
+    walls: List[float] = []
+    chains: List[str] = []
+    events_total = 0
+    requests_total = 0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        cluster, requests, chain = _edge_read_once(warm_reads,
+                                                   degraded_reads)
+        walls.append(time.perf_counter() - start)
+        events_total += _events_run(cluster)
+        requests_total += requests
+        chains.append(chain)
+    for other in chains[1:]:
+        if other != chains[0]:
+            raise RuntimeError("edge_read is not deterministic: two repeats "
+                               "with the same seed served different records")
+    walls_sorted = sorted(walls)
+    total = sum(walls)
+    return {
+        "repeats": repeats,
+        "scale": degraded_reads,
+        "wall_seconds_total": total,
+        "wall_seconds_p50": _percentile(walls_sorted, 0.50),
+        "wall_seconds_p95": _percentile(walls_sorted, 0.95),
+        "events": events_total,
+        "events_per_sec": events_total / total,
+        "requests": requests_total,
+        "requests_per_sec": requests_total / total,
+        "seed": EDGE_READ_SEED,
+        "warm_reads": warm_reads,
+        "degraded_reads": degraded_reads,
+        "delta_seconds": EDGE_READ_DELTA,
+        "record_digest": chains[0],
+    }
+
+
 # -- runner -------------------------------------------------------------------
 
 def _percentile(sorted_values: List[float], q: float) -> float:
@@ -551,6 +655,10 @@ def run_all(quick: bool = False, repeats: Optional[int] = None,
                  f"{SHARD_COUNTS} ({'quick' if quick else 'full'}, "
                  f"2 identical-seed repeats) ...")
     scenarios["sharded_scaling"] = run_sharded_scaling(quick)
+    if progress:
+        progress(f"running edge_read ({'quick' if quick else 'full'}, "
+                 f"2 identical-seed repeats) ...")
+    scenarios["edge_read"] = run_edge_read(quick)
     return {
         "bench_id": BENCH_ID,
         "schema_version": SCHEMA_VERSION,
@@ -667,6 +775,34 @@ _CURVE_POINT_FIELDS = {
     "attainment": float,
     "sustainable": bool,
 }
+
+
+#: Extra fields the edge_read scenario must carry.
+_EDGE_READ_FIELDS = {
+    "seed": int,
+    "warm_reads": int,
+    "degraded_reads": int,
+    "delta_seconds": float,
+    "record_digest": str,
+}
+
+
+def _validate_edge_read(data: Dict[str, object]) -> None:
+    for key, typ in _EDGE_READ_FIELDS.items():
+        if key not in data:
+            raise ValueError(f"edge_read missing field {key!r}")
+        value = data[key]
+        if typ is float:
+            if not isinstance(value, (int, float)) or value < 0:
+                raise ValueError(f"edge_read.{key} must be numeric >= 0")
+        elif not isinstance(value, typ):
+            raise ValueError(f"edge_read.{key} must be {typ.__name__}")
+    if data["warm_reads"] < 1 or data["degraded_reads"] < 1:
+        raise ValueError("edge_read must serve both linearizable warmup "
+                         "reads and degraded cache reads")
+    if not data["record_digest"]:
+        raise ValueError("edge_read.record_digest (the determinism "
+                         "witness) must be non-empty")
 
 
 #: Extra fields the sharded_scaling scenario must carry.
@@ -836,7 +972,8 @@ def validate_report(report: Dict[str, object]) -> None:
                              f"got {type(report[key]).__name__}")
     if report["mode"] not in ("quick", "full"):
         raise ValueError(f"mode must be quick|full, got {report['mode']!r}")
-    missing = ((set(SCENARIOS) | {"open_loop", "sharded_scaling"})
+    missing = ((set(SCENARIOS) | {"open_loop", "sharded_scaling",
+                                  "edge_read"})
                - set(report["scenarios"]))
     if missing:
         raise ValueError(f"missing scenarios: {sorted(missing)}")
@@ -864,6 +1001,18 @@ def validate_report(report: Dict[str, object]) -> None:
             _validate_open_loop(data)
         elif name == "sharded_scaling":
             _validate_sharded_scaling(data)
+        elif name == "edge_read":
+            _validate_edge_read(data)
+    # The headline cross-check BENCH_7 exists to witness: edge-served
+    # reads must out-rate the quorum read path by the stated factor.
+    edge = report["scenarios"]["edge_read"]
+    baseline = report["scenarios"]["read_heavy"]
+    speedup = (edge["requests_per_sec"]
+               / baseline["requests_per_sec"])
+    if speedup < EDGE_READ_MIN_SPEEDUP:
+        raise ValueError(f"edge_read delivered only {speedup:.2f}x "
+                         f"read_heavy's req/s "
+                         f"(need >= {EDGE_READ_MIN_SPEEDUP}x)")
 
 
 def extract_curve_artifact(report: Dict[str, object]) -> Dict[str, object]:

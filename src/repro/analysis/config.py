@@ -8,8 +8,9 @@ construct narrower configs to point rules at fixture trees.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
-from typing import FrozenSet
+from typing import FrozenSet, Optional
 
 
 def _top(rel: str) -> str:
@@ -17,20 +18,49 @@ def _top(rel: str) -> str:
     return rel.split("/", 1)[0]
 
 
+#: Packages *outside* the simulation: orchestration, analysis, and
+#: reporting code that legitimately reads the wall clock or the
+#: filesystem.  Everything else under ``src/repro`` is protocol scope by
+#: default — a freshly created package is lint-covered unless someone
+#: deliberately excludes it here.
+PROTOCOL_EXCLUDED = frozenset({"analysis", "faultlab", "harness"})
+
+
+def discover_packages(root: Optional[str] = None,
+                      excluded: FrozenSet[str] = PROTOCOL_EXCLUDED,
+                      ) -> FrozenSet[str]:
+    """Every package under the ``repro`` root minus the exclude list.
+
+    ``root`` defaults to the directory holding this file's parent (the
+    installed ``repro`` package), so new subsystems join the protocol
+    scope the moment they gain an ``__init__.py`` — scope rot was how
+    earlier packages silently escaped the linter.
+    """
+    if root is None:
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    found = []
+    for name in sorted(os.listdir(root)):
+        if name in excluded or name.startswith(("_", ".")):
+            continue
+        path = os.path.join(root, name)
+        if os.path.isdir(path) and \
+                os.path.isfile(os.path.join(path, "__init__.py")):
+            found.append(name)
+    return frozenset(found)
+
+
 #: Packages whose code runs *inside* the simulation: protocol logic,
 #: replicated state, and the conformance wrappers.  Nothing here may
 #: touch real time, threads, sockets, or the filesystem — the simulator
-#: is the only source of time and I/O.
-PROTOCOL_PACKAGES = frozenset({
-    "base", "bft", "crypto", "encoding", "http", "nfs", "service", "sim",
-    "sql", "thor", "workloads",
-})
+#: is the only source of time and I/O.  Discovered, not enumerated: see
+#: :func:`discover_packages`.
+PROTOCOL_PACKAGES = discover_packages()
 
 #: Packages whose iteration order feeds replicated state or replay:
-#: the BFT protocol itself, the simulator, FaultLab, and the abstract
-#: state library.  Hash-ordered iteration here breaks (scenario, seed)
-#: reproducibility.
-REPLAY_PACKAGES = frozenset({"base", "bft", "faultlab", "sim"})
+#: the BFT protocol itself, the simulator, the edge tier, FaultLab, and
+#: the abstract state library.  Hash-ordered iteration here breaks
+#: (scenario, seed) reproducibility.
+REPLAY_PACKAGES = frozenset({"base", "bft", "edge", "faultlab", "sim"})
 
 #: Modules allowed to call ``time.perf_counter``: wall-clock *reporting*
 #: only — they measure wall time about a run, never feed it back in.

@@ -25,16 +25,41 @@ Fast paths:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Set
+from typing import Callable, Dict, Optional, Set, Tuple
 
 from repro.bft.config import BftConfig
 from repro.bft.costs import CostModel, ZERO_COSTS
 from repro.bft.messages import Reply, Request
+from repro.crypto.digest import digest
 from repro.crypto.keys import KeyRegistry
 from repro.crypto.mac import Authenticator
 from repro.sim.network import Network
 from repro.sim.node import Node
 from repro.sim.tracing import Tracer
+
+
+@dataclass(frozen=True)
+class ReadCertificate:
+    """Proof backing one accepted read: the result, the replicas whose
+    authenticated replies certified it, and which path certified it
+    (``read_only`` when the 2f+1 unordered quorum held, else the ordered
+    path the call fell back to).  The edge tier turns this into lease
+    evidence; ``issued_at``/``accepted_at`` bound when the certified
+    execution can have happened."""
+
+    result: bytes
+    result_digest: bytes
+    voters: Tuple[str, ...]
+    path: str                # "read_only" | "tentative" | "committed"
+    view: int
+    issued_at: float         # sim time the read was issued
+    accepted_at: float       # sim time the quorum completed
+
+    @property
+    def fell_back(self) -> bool:
+        """True when the read-only quorum never formed and the ordered
+        path answered instead (banked read-only votes were discarded)."""
+        return self.path != "read_only"
 
 
 @dataclass
@@ -80,6 +105,9 @@ class BftClient(Node):
         self.retransmissions = 0       # timeout-driven (backoff escalates)
         self.fast_retransmissions = 0  # instant nudges (backoff untouched)
         self.cancelled = 0
+        # (path, voters) of the most recent acceptance — what
+        # collect_read_certificate packages into a ReadCertificate.
+        self._last_accept: Tuple[str, Tuple[str, ...]] = ("", ())
 
     @property
     def busy(self) -> bool:
@@ -108,6 +136,31 @@ class BftClient(Node):
         self._transmit(first=True)
         self._retry_timer.restart(self.config.client_retry_timeout)
         return self._next_request_id
+
+    def collect_read_certificate(
+            self, op: bytes,
+            callback: Callable[[ReadCertificate], None]) -> int:
+        """Read via the read-only fast path, surfacing the accepting
+        quorum as a :class:`ReadCertificate`.
+
+        Shares :meth:`invoke`'s machinery wholesale — vote banking per
+        digest, the ordered fallback after two read-only retries, and
+        the fallback's clearing of banked ``ro_votes`` (votes certifying
+        a read of unordered state must never count toward the ordered
+        quorums).  The certificate reports which path finally accepted,
+        so lease-refresh callers know whether the read was certified
+        unordered (fresh at ``accepted_at``) or ordered.
+        """
+        issued_at = self.now
+
+        def wrap(result: bytes) -> None:
+            path, voters = self._last_accept
+            callback(ReadCertificate(
+                result=result, result_digest=digest(result), voters=voters,
+                path=path, view=self.view_estimate, issued_at=issued_at,
+                accepted_at=self.now))
+
+        return self.invoke(op, wrap, read_only=True)
 
     def _transmit(self, first: bool) -> None:
         call = self._pending
@@ -215,7 +268,6 @@ class BftClient(Node):
                                  reply.digest()):
             return
         if reply.result is not None:
-            from repro.crypto.digest import digest
             if digest(reply.result) != reply.result_digest:
                 return
             call.results[reply.result_digest] = reply.result
@@ -245,7 +297,7 @@ class BftClient(Node):
             if len(voters) < self.config.weak_quorum:
                 continue
             if rdigest in call.results:
-                self._accept(call.results[rdigest], "committed")
+                self._accept(call.results[rdigest], "committed", voters)
                 return
             # Result certified by f+1 digests but the designated replica
             # never sent the full bytes (it may be rebooting): retransmit
@@ -260,7 +312,7 @@ class BftClient(Node):
             if len(voters) < self.config.quorum:
                 continue
             if rdigest in call.results:
-                self._accept(call.results[rdigest], "tentative")
+                self._accept(call.results[rdigest], "tentative", voters)
                 return
             # The certificate is complete but the designated replica's
             # full-result reply has not arrived.  Unlike the committed
@@ -275,14 +327,16 @@ class BftClient(Node):
         # Read-only optimization: 2f+1 matching read-only replies.
         for rdigest, voters in call.ro_votes.items():
             if len(voters) >= self.config.quorum and rdigest in call.results:
-                self._accept(call.results[rdigest], "read_only")
+                self._accept(call.results[rdigest], "read_only", voters)
                 return
 
-    def _accept(self, result: bytes, path: str = "committed") -> None:
+    def _accept(self, result: bytes, path: str = "committed",
+                voters: Set[str] = frozenset()) -> None:
         call = self._pending
         self._pending = None
         self._retry_timer.stop()
         self._nudge_timer.stop()
+        self._last_accept = (path, tuple(sorted(voters)))
         self.tracer.metrics.inc(f"client.accept_{path}")
         self.tracer.emit(self.now, self.node_id, "result_accepted",
                          request_id=call.request.request_id)

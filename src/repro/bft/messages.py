@@ -452,3 +452,60 @@ class RecoveryRequest(Message):
 
     def _fields(self) -> tuple:
         return (self.replica_id, self.epoch)
+
+
+# -- edge tier (bounded-staleness reads) ------------------------------------
+
+
+class EdgeRead(Message):
+    """An edge node's single-replica read: execute ``op`` against current
+    state and answer with staleness evidence (no ordering, no quorum)."""
+
+    kind = "edge_read"
+
+    __slots__ = ("edge_id", "nonce", "op")
+
+    def __init__(self, edge_id: str, nonce: int, op: bytes):
+        super().__init__()
+        self.edge_id = edge_id
+        self.nonce = nonce
+        self.op = op
+
+    def _fields(self) -> tuple:
+        return (self.edge_id, self.nonce, self.op)
+
+
+class EdgeReadReply(Message):
+    """One replica's answer to an :class:`EdgeRead`, carrying its version
+    vector: the stable checkpoint it last proved (``checkpoint_seq`` and
+    the abstract-state ``root_digest``) plus the sim-time lease anchor.
+
+    Sim times ride as integer microseconds — canonical wire payloads
+    must not carry floats (their bit patterns are not portable across
+    encoders; see the WIRE-FLOAT lint rule).
+    """
+
+    kind = "edge_read_reply"
+
+    __slots__ = ("replica_id", "edge_id", "nonce", "result", "result_digest",
+                 "checkpoint_seq", "root_digest", "stable_at_us",
+                 "issued_at_us")
+
+    def __init__(self, replica_id: str, edge_id: str, nonce: int,
+                 result: bytes, result_digest: bytes, checkpoint_seq: int,
+                 root_digest: bytes, stable_at_us: int, issued_at_us: int):
+        super().__init__()
+        self.replica_id = replica_id
+        self.edge_id = edge_id
+        self.nonce = nonce
+        self.result = result
+        self.result_digest = result_digest
+        self.checkpoint_seq = checkpoint_seq
+        self.root_digest = root_digest
+        self.stable_at_us = stable_at_us    # when the anchor went stable
+        self.issued_at_us = issued_at_us    # when this read executed
+
+    def _fields(self) -> tuple:
+        return (self.replica_id, self.edge_id, self.nonce, self.result,
+                self.result_digest, self.checkpoint_seq, self.root_digest,
+                self.stable_at_us, self.issued_at_us)

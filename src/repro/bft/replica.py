@@ -32,6 +32,8 @@ from repro.bft.log import MessageLog
 from repro.bft.messages import (
     CheckpointMsg,
     Commit,
+    EdgeRead,
+    EdgeReadReply,
     Message,
     PrePrepare,
     Prepare,
@@ -127,9 +129,17 @@ class Replica(Node):
         self._ckpt_retry_timer = self.make_timer(
             config.view_change_timeout, self._retransmit_checkpoint)
         # Baseline checkpoint 0 so state transfer targets always exist.
-        self.state.take_checkpoint(0)
+        root0 = self.state.take_checkpoint(0)
         blob = self.serialize_client_table()
         self.table_checkpoints[0] = (digest(blob), blob)
+        # Every (seq, root) this replica checkpointed, retained past log
+        # truncation (bounded): the abstract-state history the edge
+        # tier's staleness contract is audited against.
+        self.checkpoint_history: List[Tuple[int, bytes]] = [(0, root0)]
+        # Version vector served to edge nodes: (stable checkpoint seq,
+        # abstract-state root digest, sim time it went stable in µs).
+        # Re-minted whenever a checkpoint gains a 2f+1 certificate.
+        self.stable_vector: Tuple[int, bytes, int] = (0, root0, 0)
 
     # -- identity helpers ------------------------------------------------------
 
@@ -318,6 +328,34 @@ class Replica(Node):
                     force_full=True, read_only=True)
         self.trace("read_only_executed", client=req.client_id,
                    request_id=req.request_id)
+
+    def handle_edge_read(self, src, msg: EdgeRead) -> None:
+        """Serve a single-replica edge read with staleness evidence.
+
+        Unlike the read-only optimization there is no quorum: the edge
+        accepts this one replica's word plus its version vector — the
+        last *stable* checkpoint (which 2f+1 replicas certified and no
+        view change can roll back) and the sim time this read executed.
+        The whole reply is MAC'd for the edge, so a network party cannot
+        forge evidence; a Byzantine replica can still lie, which is
+        exactly the trust the staleness contract advertises.
+        """
+        if src != msg.edge_id or not self.verify_auth(src, msg):
+            return
+        if self.recovery.recovering or self.transfer.active:
+            # Unchecked state must not anchor staleness evidence.
+            return
+        result = self._safe_execute(msg.op, msg.edge_id, msg.nonce,
+                                    self.last_executed, b"", read_only=True)
+        result = self.behavior.corrupt_reply_result(result)
+        seq, root, stable_at_us = self.stable_vector
+        reply = EdgeReadReply(self.node_id, msg.edge_id, msg.nonce,
+                              result, digest(result), seq, root,
+                              stable_at_us, int(self.now * 1_000_000))
+        self.charge(self.costs.digest(len(result)))
+        self.authenticate_for(reply, msg.edge_id)
+        self.send(msg.edge_id, reply)
+        self.trace("edge_read_served", edge=msg.edge_id, nonce=msg.nonce)
 
     # -- primary: ordering ------------------------------------------------------------
 
@@ -690,8 +728,14 @@ class Replica(Node):
             client: (request_id, result)
             for client, request_id, result in decanonical(blob)}
 
+    #: Checkpoint-history entries retained for staleness-contract audits.
+    _HISTORY_MAX = 512
+
     def _take_checkpoint(self, seq: int) -> None:
         root = self.state.take_checkpoint(seq)
+        self.checkpoint_history.append((seq, root))
+        if len(self.checkpoint_history) > self._HISTORY_MAX:
+            del self.checkpoint_history[:-self._HISTORY_MAX]
         table_blob = self.serialize_client_table()
         table_digest = digest(table_blob)
         self.table_checkpoints[seq] = (table_digest, table_blob)
@@ -767,11 +811,23 @@ class Replica(Node):
             self.transfer.initiate(msg.seq, msg.root_digest, cert,
                                    force=True)
 
+    def note_stable_vector(self, seq: int, root: bytes) -> None:
+        """Mint the version vector edge reads will carry: the checkpoint
+        just proven stable, MAC'd per edge receiver at reply time.  Also
+        folds externally installed checkpoints (state transfer) into the
+        retained history so staleness audits see them."""
+        if not self.checkpoint_history or self.checkpoint_history[-1] != (seq, root):
+            self.checkpoint_history.append((seq, root))
+            if len(self.checkpoint_history) > self._HISTORY_MAX:
+                del self.checkpoint_history[:-self._HISTORY_MAX]
+        self.stable_vector = (seq, root, int(self.now * 1_000_000))
+
     def _mark_stable(self, seq: int, cert: Tuple[CheckpointMsg, ...]) -> None:
         if seq <= self.last_stable:
             return
         self.last_stable = seq
         self.stable_cert = cert
+        self.note_stable_vector(seq, cert[0].root_digest)
         if self.last_committed_exec < seq:
             self.last_committed_exec = seq
         self._advance_committed_frontier()

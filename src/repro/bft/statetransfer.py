@@ -326,6 +326,7 @@ class StateTransferManager:
         # execution under it is durable.
         r.last_committed_exec = self.target_seq
         r.stable_cert = self.cert
+        r.note_stable_vector(self.target_seq, self.target_root)
         r.log.truncate_below(self.target_seq)
         # If this was a rollback to the stable checkpoint (recovery or
         # divergence repair), the retained committed slots above it must

@@ -1,0 +1,103 @@
+"""Per-shard circuit breaker driving the consistency-mode ladder.
+
+State machine::
+
+    CLOSED ──(failure_threshold consecutive timeouts,
+              or a view-change signal)──────────────► OPEN
+    OPEN ──(cooldown simulated seconds elapse)──────► HALF_OPEN
+    HALF_OPEN ──(probe_quota consecutive successes)─► CLOSED
+    HALF_OPEN ──(any failure or view-change signal)─► OPEN
+
+The OPEN→HALF_OPEN edge is *lazy*: it is taken when :attr:`state` is
+next read after the cooldown, off the simulation clock — no timer event,
+so an idle breaker costs the scheduler nothing.  While OPEN the edge
+skips the linearizable attempt entirely; HALF_OPEN admits attempts as
+probes, and only their success re-promotes the shard to the top of the
+ladder.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+STATES = (CLOSED, OPEN, HALF_OPEN)
+
+
+class CircuitBreaker:
+    """Failure-driven gate in front of one shard's linearizable path."""
+
+    def __init__(self, clock: Callable[[], float], *,
+                 failure_threshold: int = 2,
+                 cooldown: float = 1.0,
+                 probe_quota: int = 1,
+                 on_transition: Optional[Callable[[str, str], None]] = None):
+        if failure_threshold < 1 or probe_quota < 1 or cooldown <= 0:
+            raise ValueError("breaker thresholds must be positive")
+        self.clock = clock
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self.probe_quota = probe_quota
+        self.on_transition = on_transition
+        self._state = CLOSED
+        self._failures = 0
+        self._probe_successes = 0
+        self._opened_at = 0.0
+        self.trips = 0         # transitions into OPEN
+        self.promotions = 0    # transitions into CLOSED
+        self.view_change_signals = 0
+
+    @property
+    def state(self) -> str:
+        """Current state; reading it takes the lazy OPEN→HALF_OPEN edge."""
+        if (self._state == OPEN
+                and self.clock() - self._opened_at >= self.cooldown):
+            self._probe_successes = 0
+            self._set(HALF_OPEN)
+        return self._state
+
+    def allow_attempt(self) -> bool:
+        """May the caller try the linearizable path right now?"""
+        return self.state != OPEN
+
+    def record_success(self) -> None:
+        state = self.state
+        if state == HALF_OPEN:
+            self._probe_successes += 1
+            if self._probe_successes >= self.probe_quota:
+                self._failures = 0
+                self.promotions += 1
+                self._set(CLOSED)
+        elif state == CLOSED:
+            self._failures = 0
+
+    def record_failure(self) -> None:
+        state = self.state
+        if state == HALF_OPEN:
+            self._trip()
+        elif state == CLOSED:
+            self._failures += 1
+            if self._failures >= self.failure_threshold:
+                self._trip()
+
+    def signal_view_change(self) -> None:
+        """A view change is (or just was) in progress: the ordered path
+        is suspect regardless of the failure count — open immediately."""
+        self.view_change_signals += 1
+        if self.state != OPEN:
+            self._trip()
+
+    def _trip(self) -> None:
+        self._failures = 0
+        self._probe_successes = 0
+        self._opened_at = self.clock()
+        self.trips += 1
+        self._set(OPEN)
+
+    def _set(self, state: str) -> None:
+        if state != self._state:
+            old, self._state = self._state, state
+            if self.on_transition is not None:
+                self.on_transition(old, state)

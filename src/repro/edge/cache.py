@@ -1,0 +1,92 @@
+"""EdgeCache: abstract-state reads held under sim-clock freshness leases.
+
+An entry is *fresh* while its :class:`ReadLease` is valid — the lease
+starts at the evidence's issue time (not the local arrival time, which
+would flatter stale answers by the transfer delay) and runs for the
+cache's staleness budget Δ.  A fresh hit can be served as
+``BOUNDED_STALE(Δ)``; an expired entry can still back a flagged
+``LAST_KNOWN_GOOD`` answer but proves nothing about recency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+from repro.edge.evidence import StalenessEvidence
+
+
+@dataclass
+class ReadLease:
+    """Freshness window for one cached read, in simulated seconds."""
+
+    issued_at: float
+    ttl: float
+
+    @property
+    def expires_at(self) -> float:
+        return self.issued_at + self.ttl
+
+    def valid(self, now: float) -> bool:
+        return now - self.issued_at <= self.ttl
+
+
+@dataclass
+class CacheEntry:
+    result: bytes
+    lease: ReadLease
+    evidence: StalenessEvidence
+
+
+class EdgeCache:
+    """One result per key, each under a lease derived from its evidence.
+
+    ``clock`` is the simulation clock (never wall time); ``delta`` is the
+    staleness budget Δ every lease runs for.  Keys are whatever axis the
+    caller partitions reads by — the edge tier keys on the service's
+    ``ShardKeySpec`` axis plus the op digest.
+    """
+
+    def __init__(self, clock: Callable[[], float], delta: float):
+        if delta <= 0:
+            raise ValueError("staleness budget delta must be positive")
+        self.clock = clock
+        self.delta = delta
+        self._entries: Dict[Any, CacheEntry] = {}
+        self.hits = 0          # fresh-lease hits
+        self.expired_hits = 0  # entries served past their lease (LKG)
+        self.misses = 0
+        self.refreshes = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def put(self, key: Any, result: bytes,
+            evidence: StalenessEvidence) -> CacheEntry:
+        """Install/refresh an entry; the lease starts at evidence time."""
+        entry = CacheEntry(result, ReadLease(evidence.issued_at, self.delta),
+                           evidence)
+        self._entries[key] = entry
+        self.refreshes += 1
+        return entry
+
+    def get_fresh(self, key: Any) -> Optional[CacheEntry]:
+        """The entry for ``key`` iff its lease is still valid."""
+        entry = self._entries.get(key)
+        if entry is None or not entry.lease.valid(self.clock()):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def get_any(self, key: Any) -> Optional[CacheEntry]:
+        """The entry for ``key`` regardless of lease state (LKG path)."""
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.expired_hits += 1
+        return entry
+
+    def staleness(self, entry: CacheEntry) -> float:
+        """How stale the entry can be *right now* (seconds since the
+        result was provably current)."""
+        return self.clock() - entry.lease.issued_at

@@ -36,6 +36,7 @@ from repro.faultlab.invariants import (
     RollbackEntry,
     Violation,
     check_all,
+    check_staleness_contract,
 )
 from repro.faultlab.plan import FaultPlan
 from repro.faultlab.scenarios import (
@@ -117,6 +118,10 @@ class TrialResult:
     #: plus state-transfer fallbacks) — the fast path's rollback
     #: machinery actually firing, not just being available.
     rollbacks: int = 0
+    #: Edge reads served per consistency mode (empty when the scenario
+    #: runs no edge tier) — the non-vacuity witness that an edge
+    #: scenario actually exercised degradation, not just stayed green.
+    edge_modes: Dict[str, int] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -143,6 +148,7 @@ class TrialResult:
             "faults_injected": self.faults_injected,
             "faults_cleared": self.faults_cleared,
             "rollbacks": self.rollbacks,
+            "edge_modes": dict(self.edge_modes),
         }
 
 
@@ -343,6 +349,54 @@ def _build_openloop(cluster, scenario: Scenario, ctx: TrialContext):
     return driver, duration
 
 
+# -- the edge tier ------------------------------------------------------------------
+
+
+class _EdgeDriver:
+    """Drives edge reads from the chaos loop (outside event context —
+    :meth:`EdgeTier.read` runs the scheduler itself, so it must never be
+    issued from inside a scheduled callback) and collects the evidence
+    the ``staleness_contract`` checker audits."""
+
+    def __init__(self, cluster, scenario: Scenario):
+        from repro.edge import EdgeTier
+        spec = dict(scenario.edge)
+        self.step = spec.pop("step", 0.05)
+        self.slots = spec.pop("slots", 4)
+        self.tier = EdgeTier.for_cluster(cluster, **spec)
+        # The injector resolves edge_partition faults against this.
+        cluster.edge_node_ids = self.tier.edge_node_ids
+        self.reads = 0
+        self.unavailable = 0
+
+    def read_once(self) -> None:
+        from repro.bft.statemachine import InMemoryStateManager
+        from repro.edge.tier import EdgeUnavailable
+        op = InMemoryStateManager.op_get(self.reads % self.slots)
+        self.reads += 1
+        try:
+            self.tier.read(op)
+        except EdgeUnavailable:
+            self.unavailable += 1
+
+    def mode_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for record in self.tier.records:
+            counts[record.mode] = counts.get(record.mode, 0) + 1
+        return counts
+
+    def check(self, cluster, correct_ids,
+              expect_repromotion: bool) -> List[Violation]:
+        histories = {r.node_id: list(r.checkpoint_history)
+                     for r in cluster.replicas
+                     if r.node_id in correct_ids}
+        breaker_states = [(p.shard, p.breaker.state)
+                          for p in self.tier.ports]
+        return check_staleness_contract(
+            self.tier.records, histories, breaker_states,
+            expect_repromotion=expect_repromotion)
+
+
 # -- the trial runner ---------------------------------------------------------------
 
 
@@ -378,6 +432,17 @@ def run_trial(scenario: ScenarioRef, seed: int,
         driver, openloop_duration = _build_openloop(cluster, scenario, ctx)
     _record_accepts(cluster, accepted)
 
+    edge = None
+    if scenario.edge is not None:
+        if scenario.service != "kv":
+            raise ValueError(f"scenario {scenario.name!r}: the edge "
+                             f"driver issues kv reads and needs "
+                             f"service='kv'")
+        # Built after the evidence shims (edge-served executions land in
+        # the log as read-only entries) and before the injector arms, so
+        # an edge_partition fault can resolve the edge's node ids.
+        edge = _EdgeDriver(cluster, scenario)
+
     injector = FaultInjector(cluster, plan)
     injector.arm()
     for script in scripts:
@@ -392,11 +457,16 @@ def run_trial(scenario: ScenarioRef, seed: int,
     horizon = max([0.0] + [max(f.start, f.stop or 0.0) for f in plan])
     scheduler = cluster.scheduler
     deadline = scenario.duration
+    step = edge.step if edge is not None else 1.0
     while scheduler.now < deadline:
         if all(s.done for s in scripts) and scheduler.now >= horizon \
                 and (driver is None or driver.drained):
             break
-        scheduler.run_until(min(scheduler.now + 1.0, deadline))
+        scheduler.run_until(min(scheduler.now + step, deadline))
+        if edge is not None:
+            # From loop level, outside event context: tier reads drive
+            # the scheduler themselves (bounded by their timeouts).
+            edge.read_once()
 
     # Quiesce and settle: force-clear lingering faults, then give the
     # healed system time to finish view changes, recoveries, and state
@@ -416,6 +486,14 @@ def run_trial(scenario: ScenarioRef, seed: int,
             prober.call(probe(ctx, k).op)
         cluster.run(scenario.settle)
 
+    # Post-heal edge probes: give the breaker its half-open window and
+    # the probe successes it needs to re-promote to linearizable before
+    # the staleness contract judges the final ladder state.
+    if edge is not None and scenario.expect_liveness:
+        for _ in range(4):
+            cluster.run(edge.step)
+            edge.read_once()
+
     byzantine = set(plan.byzantine_replicas())
     correct_ids = [r.node_id for i, r in enumerate(cluster.replicas)
                    if i not in byzantine]
@@ -430,6 +508,9 @@ def run_trial(scenario: ScenarioRef, seed: int,
         scenario.expect_liveness, scenario.duration)
     if sharded is not None:
         violations.extend(_check_sharded(sharded, plan))
+    if edge is not None:
+        violations.extend(edge.check(cluster, correct_ids,
+                                     scenario.expect_liveness))
     metrics = cluster.metrics
     return TrialResult(
         scenario=scenario.name, seed=seed, plan=plan, violations=violations,
@@ -441,7 +522,8 @@ def run_trial(scenario: ScenarioRef, seed: int,
         wall_seconds=time.perf_counter() - started,
         faults_injected=injector.injected, faults_cleared=injector.cleared,
         rollbacks=metrics.counter_value("bft.rollback")
-        + metrics.counter_value("bft.rollback_via_transfer"))
+        + metrics.counter_value("bft.rollback_via_transfer"),
+        edge_modes=edge.mode_counts() if edge is not None else {})
 
 
 def replay_trial(scenario: ScenarioRef, seed: int,

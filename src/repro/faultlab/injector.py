@@ -140,6 +140,23 @@ class FaultInjector:
                 network.heal(a, b)
         return revert
 
+    def _apply_edge_partition(self, fault) -> Callable[[], None]:
+        network = self.cluster.network
+        group = set(getattr(self.cluster, "edge_node_ids", ()))
+        if not group:
+            raise ValueError("edge_partition fault needs a trial built "
+                             "with an edge tier (no edge node ids on the "
+                             "cluster)")
+        others = [n for n in network.node_ids() if n not in group]
+        pairs = [(a, b) for a in sorted(group) for b in others]
+        for a, b in pairs:
+            network.partition(a, b)
+
+        def revert():
+            for a, b in pairs:
+                network.heal(a, b)
+        return revert
+
     def _apply_loss(self, fault) -> Callable[[], None]:
         link = self.cluster.network.config.default_link
         previous = link.drop_rate

@@ -29,6 +29,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Set, Tuple
 
+from repro.edge.evidence import (BOUNDED_STALE, EVIDENCE_CERTIFICATE,
+                                 EVIDENCE_VECTOR, LINEARIZABLE, MODES)
+
 
 @dataclass(frozen=True)
 class Violation:
@@ -223,6 +226,98 @@ def check_liveness(scripts_done: Sequence[Tuple[str, bool]],
         "liveness",
         f"clients {stuck} did not finish their workload within "
         f"{duration:g} simulated seconds despite a quiescent fault plan")]
+
+
+def check_staleness_contract(
+        records: Sequence,
+        histories: Dict[str, Sequence[Tuple[int, bytes]]],
+        breaker_states: Sequence[Tuple[int, str]] = (),
+        expect_repromotion: bool = False,
+        slack: float = 1e-9) -> List[Violation]:
+    """The edge tier's advertised staleness contract, audited against the
+    abstract-state history correct replicas actually passed through:
+
+    - every reply names a known consistency mode, and a linearizable
+      claim is only ever backed by quorum (read-certificate) evidence —
+      a degraded reply can never masquerade as fresh;
+    - a bounded-stale reply's *actual* staleness (serve time minus the
+      time its evidence proves the result was current) never exceeds
+      its advertised bound;
+    - version-vector evidence anchors at a ``(seq, digest)`` checkpoint
+      some correct replica genuinely recorded;
+    - after the plan quiesces, every shard's breaker re-promoted to the
+      top of the ladder (when the trial expects liveness).
+
+    ``records`` are :class:`~repro.edge.evidence.EdgeReadRecord`;
+    ``histories`` maps correct replica ids to their retained
+    ``checkpoint_history``; ``breaker_states`` is the final
+    ``(shard, breaker state)`` per shard.
+    """
+    violations: List[Violation] = []
+    known: Set[Tuple[int, bytes]] = set()
+    for replica_id in sorted(histories):
+        known.update(histories[replica_id])
+    for i, rec in enumerate(records):
+        tag = f"read[{i}]"
+        if rec.mode not in MODES:
+            violations.append(Violation(
+                "staleness_contract",
+                f"{tag} served under unknown mode {rec.mode!r}"))
+            continue
+        ev = rec.evidence
+        if ev is None:
+            violations.append(Violation(
+                "staleness_contract",
+                f"{tag} ({rec.mode}) carries no staleness evidence"))
+            continue
+        if rec.mode == LINEARIZABLE:
+            if ev.kind != EVIDENCE_CERTIFICATE:
+                violations.append(Violation(
+                    "staleness_contract",
+                    f"{tag} claims linearizable but is backed by "
+                    f"{ev.kind} evidence from {list(ev.replicas)}"))
+            if rec.staleness_bound is not None:
+                violations.append(Violation(
+                    "staleness_contract",
+                    f"{tag} linearizable reply advertises a staleness "
+                    f"bound ({rec.staleness_bound:g}s)"))
+        elif rec.mode == BOUNDED_STALE:
+            if rec.staleness_bound is None:
+                violations.append(Violation(
+                    "staleness_contract",
+                    f"{tag} bounded-stale reply advertises no bound"))
+            else:
+                actual = rec.served_at - ev.issued_at
+                if actual > rec.staleness_bound + slack:
+                    violations.append(Violation(
+                        "staleness_contract",
+                        f"{tag} actual staleness {actual:.6f}s exceeds "
+                        f"its advertised bound "
+                        f"{rec.staleness_bound:g}s"))
+        else:  # LAST_KNOWN_GOOD claims nothing but the flag itself
+            if rec.staleness_bound is not None:
+                violations.append(Violation(
+                    "staleness_contract",
+                    f"{tag} last-known-good reply advertises a bound "
+                    f"({rec.staleness_bound:g}s) it cannot honor"))
+        if ev.kind == EVIDENCE_VECTOR:
+            vector = (ev.checkpoint_seq, ev.root_digest)
+            if ev.checkpoint_seq is None or vector not in known:
+                root = (ev.root_digest or b"").hex()[:12]
+                violations.append(Violation(
+                    "staleness_contract",
+                    f"{tag} version vector (seq {ev.checkpoint_seq}, "
+                    f"root {root}) matches no correct replica's "
+                    f"checkpoint history"))
+    if expect_repromotion:
+        for shard, state in breaker_states:
+            if state != "closed":
+                violations.append(Violation(
+                    "staleness_contract",
+                    f"shard {shard} breaker ended {state}; expected "
+                    f"re-promotion to linearizable after the plan "
+                    f"quiesced"))
+    return violations
 
 
 def check_all(cluster, exec_log: ExecutionLog,

@@ -18,7 +18,9 @@ Terms and what they model:
 - :class:`CrashFault` — fail-stop a replica (optionally restarting it);
 - :class:`RecoveryFault` — trigger proactive recovery at a point in time;
 - :class:`BackendFault` — wrap a service replica's off-the-shelf backend
-  in one of the ageing wrappers from :mod:`repro.nfs.backends.faulty`.
+  in one of the ageing wrappers from :mod:`repro.nfs.backends.faulty`;
+- :class:`EdgePartitionFault` — cut the edge tier off from the core,
+  forcing its consistency-mode ladder to degrade.
 
 ``start``/``stop`` are simulated seconds from the trial start; ``stop``
 of ``None`` means the fault lasts for the whole trial.
@@ -179,6 +181,21 @@ class BackendFault:
                 f"{_window(self.start, self.stop)}")
 
 
+@dataclass(frozen=True)
+class EdgePartitionFault:
+    """The edge tier cut off from the core (replicas *and* clients)
+    during [start, stop) — the canonical trigger for the edge's
+    graceful-degradation ladder.  Requires a trial built with an edge
+    tier (the builder records the edge's node ids on the cluster)."""
+
+    start: float = 0.0
+    stop: Optional[float] = None
+    kind: str = field(default="edge_partition", init=False, repr=False)
+
+    def describe(self) -> str:
+        return f"edge_partition{_window(self.start, self.stop)}"
+
+
 def _window(start: float, stop: Optional[float]) -> str:
     if start == 0.0 and stop is None:
         return ""
@@ -194,6 +211,7 @@ FAULT_TYPES: Dict[str, Type] = {
     "crash": CrashFault,
     "recovery": RecoveryFault,
     "backend": BackendFault,
+    "edge_partition": EdgePartitionFault,
 }
 
 

@@ -13,7 +13,7 @@ from typing import Any, Dict
 
 from repro.faultlab.explorer import SweepResult, TrialResult
 
-SCHEMA_VERSION = 2  # v2: trial documents report the rollback count
+SCHEMA_VERSION = 3  # v3: trial documents report edge reads per mode
 
 
 def trial_report(result: TrialResult) -> Dict[str, Any]:
@@ -78,6 +78,7 @@ _TRIAL_FIELDS = {
     "faults_injected": int,
     "faults_cleared": int,
     "rollbacks": int,
+    "edge_modes": dict,
 }
 
 _SWEEP_FIELDS = {

@@ -25,6 +25,7 @@ from repro.faultlab.plan import (
     BackendFault,
     CrashFault,
     DelaySpikeFault,
+    EdgePartitionFault,
     FaultPlan,
     LossFault,
     PartitionFault,
@@ -86,6 +87,15 @@ class Scenario:
     #: ``process_kwargs``.  All randomness is drawn from the trial's
     #: seeded RNG streams, so trials stay bit-replayable.
     openloop: Optional[Dict[str, Any]] = None
+    #: Non-None mounts an :class:`~repro.edge.tier.EdgeTier` in front of
+    #: the cluster and drives edge reads from the chaos loop.  Keys
+    #: ``step`` (loop granularity, sim seconds) and ``slots`` (distinct
+    #: kv slots the reads cycle over) configure the driver; everything
+    #: else is passed to :meth:`EdgeTier.for_cluster` (``delta``,
+    #: ``read_timeout``, ``failure_threshold``, ``cooldown``, ...).  The
+    #: trial then runs the ``staleness_contract`` checker over the
+    #: tier's read records.
+    edge: Optional[Dict[str, Any]] = None
 
 
 SCENARIOS: Dict[str, Scenario] = {}
@@ -360,6 +370,25 @@ def _plan_tentative_viewchange(rng: random.Random) -> FaultPlan:
     return FaultPlan(tuple(faults))
 
 
+def _plan_edge_partition(rng: random.Random) -> FaultPlan:
+    """Cut the edge tier off from the core for ~100 ms while edge reads
+    keep flowing: the ladder must degrade to bounded-stale answers from
+    the warmed cache, never exceed an advertised bound, and re-promote
+    to linearizable once healed."""
+    start = round(rng.uniform(0.3, 0.9), 3)
+    return FaultPlan((EdgePartitionFault(start=start,
+                                         stop=round(start + 0.1, 3)),))
+
+
+def _plan_edge_viewchange(rng: random.Random) -> FaultPlan:
+    """Partition the view-0 primary mid-workload: the ensuing view
+    change must trip the edge breaker (the view-change signal), degrade
+    edge reads per-shard, and re-promote after the new view settles."""
+    start = round(rng.uniform(0.1, 0.4), 3)
+    stop = round(start + rng.uniform(1.5, 2.5), 3)
+    return FaultPlan((PartitionFault((0,), start=start, stop=stop),))
+
+
 def _plan_beyond_f_wrong_reply(rng: random.Random) -> FaultPlan:
     """Deliberately beyond f: two colluding wrong-reply replicas can mint
     an f+1 vote for a result no correct replica computed.  Kept out of
@@ -536,6 +565,44 @@ register_scenario(Scenario(
     ops_per_client=10,
     duration=60.0,
     settle=15.0,
+))
+
+register_scenario(Scenario(
+    name="edge_partition",
+    description="Bounded-staleness edge reads across a ~100 ms edge-to-"
+                "core partition: the tier must serve flagged "
+                "bounded-stale answers from the warmed cache, honor "
+                "every advertised staleness bound, and re-promote to "
+                "linearizable after the heal.",
+    plan=_plan_edge_partition,
+    config=dict(_FAST_CFG),
+    edge=dict(delta=0.5, read_timeout=0.04, refresh_timeout=0.04,
+              failure_threshold=1, cooldown=0.3, probe_quota=1,
+              step=0.05, slots=4),
+    duration=30.0,
+    settle=10.0,
+))
+
+register_scenario(Scenario(
+    name="edge_viewchange_degrade",
+    description="The view-0 primary is partitioned away mid-workload: "
+                "the view change trips the edge breaker via the "
+                "view-change signal, edge reads degrade per-shard, and "
+                "the ladder re-promotes once the new view settles.",
+    plan=_plan_edge_viewchange,
+    # Retry before the open-loop session deadline (slo_p95 * 8), so the
+    # backups actually see retransmissions and arm view-change timers.
+    config=dict(_FAST_CFG, client_retry_timeout=0.1),
+    edge=dict(delta=0.6, read_timeout=0.04, refresh_timeout=0.04,
+              failure_threshold=2, cooldown=0.5, probe_quota=2,
+              step=0.05, slots=4),
+    # Ordered traffic must be in flight when the primary disappears or
+    # no view-change timer ever arms (the closed-loop scripts finish in
+    # milliseconds): open-loop writes span the partition window.
+    openloop=dict(process="poisson", rate=100.0, duration=5.0,
+                  slo_p95=0.02, pool_size=4, queue_limit=64),
+    duration=40.0,
+    settle=10.0,
 ))
 
 register_scenario(Scenario(

@@ -1,0 +1,53 @@
+"""ProtoLint scope configuration: packages are *discovered*, not
+enumerated, so a freshly created subsystem is lint-covered by default
+(scope rot was how earlier packages silently escaped the linter)."""
+
+from repro.analysis.config import (
+    PROTOCOL_EXCLUDED,
+    PROTOCOL_PACKAGES,
+    REPLAY_PACKAGES,
+    discover_packages,
+)
+
+
+def fake_package(root, name, init=True):
+    pkg = root / name
+    pkg.mkdir()
+    if init:
+        (pkg / "__init__.py").write_text("")
+    return pkg
+
+
+def test_discover_finds_packages_and_honors_the_exclude_list(tmp_path):
+    fake_package(tmp_path, "alpha")
+    fake_package(tmp_path, "beta")
+    fake_package(tmp_path, "orchestration")
+    fake_package(tmp_path, "plain_dir", init=False)  # not a package
+    fake_package(tmp_path, "_private")
+    (tmp_path / "stray.py").write_text("")
+    found = discover_packages(str(tmp_path),
+                              excluded=frozenset({"orchestration"}))
+    assert found == frozenset({"alpha", "beta"})
+
+
+def test_fresh_package_is_in_scope_by_default(tmp_path):
+    fake_package(tmp_path, "alpha")
+    before = discover_packages(str(tmp_path), excluded=frozenset())
+    fake_package(tmp_path, "brand_new_subsystem")
+    after = discover_packages(str(tmp_path), excluded=frozenset())
+    assert before == frozenset({"alpha"})
+    assert after == before | {"brand_new_subsystem"}
+
+
+def test_repo_scope_covers_edge_and_excludes_orchestration():
+    # The live config: edge joined both scopes when it gained its
+    # __init__.py; the exclude list stays the only escape hatch.
+    assert "edge" in PROTOCOL_PACKAGES
+    assert "edge" in REPLAY_PACKAGES
+    assert "bft" in PROTOCOL_PACKAGES and "sim" in PROTOCOL_PACKAGES
+    assert not PROTOCOL_PACKAGES & PROTOCOL_EXCLUDED
+    assert REPLAY_PACKAGES <= PROTOCOL_PACKAGES | PROTOCOL_EXCLUDED
+
+
+def test_discovery_matches_the_installed_tree():
+    assert PROTOCOL_PACKAGES == discover_packages()

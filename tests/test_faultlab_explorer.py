@@ -129,3 +129,41 @@ def test_quiesce_force_clears_open_ended_faults():
     assert injector.cleared == 1
     forced = cluster.tracer.find("fault_cleared")
     assert forced and forced[-1].detail.get("forced") is True
+
+
+# -- edge scenarios ----------------------------------------------------------------
+
+
+def test_edge_partition_trial_passes_and_actually_degrades():
+    """The staleness-contract audit passes AND the trial is non-vacuous:
+    the 100ms edge<->core partition forced degraded serves, and the
+    breaker re-promoted before the final check."""
+    result = run_trial("edge_partition", 0)
+    assert result.ok, result.violations
+    assert result.edge_modes.get("linearizable", 0) > 0
+    degraded = sum(count for mode, count in result.edge_modes.items()
+                   if mode != "linearizable")
+    assert degraded > 0, f"vacuous trial: {result.edge_modes}"
+
+
+def test_edge_viewchange_trial_degrades_on_the_signal():
+    result = run_trial("edge_viewchange_degrade", 0)
+    assert result.ok, result.violations
+    assert result.edge_modes.get("bounded_stale", 0) > 0, \
+        f"vacuous trial: {result.edge_modes}"
+
+
+def test_edge_trials_are_bit_identical_across_reruns():
+    a = run_trial("edge_partition", 2)
+    b = run_trial("edge_partition", 2)
+    assert a.plan == b.plan
+    assert a.edge_modes == b.edge_modes
+    assert a.violation_keys() == b.violation_keys()
+    assert a.sim_seconds == b.sim_seconds
+
+
+def test_edge_partition_fault_requires_an_edge_tier():
+    from repro.faultlab.plan import EdgePartitionFault
+    plan = FaultPlan((EdgePartitionFault(start=0.5, stop=1.0),))
+    with pytest.raises(ValueError, match="edge tier"):
+        run_trial("byzantine_backup", 0, plan=plan)

@@ -95,3 +95,81 @@ def test_beyond_f_collusion_is_caught_by_reply_validity():
     assert not result.ok
     kinds = {v.invariant for v in result.violations}
     assert kinds & {"reply_validity", "agreement"}, result.violations
+
+
+# -- the edge staleness contract ---------------------------------------------------
+
+
+def _edge_record(mode, bound, served_at, evidence):
+    from repro.edge.evidence import EdgeReadRecord
+    return EdgeReadRecord(op_digest=b"op", result_digest=b"res", key=0,
+                          shard=0, mode=mode, staleness_bound=bound,
+                          served_at=served_at, evidence=evidence)
+
+
+def _cert_evidence(issued_at):
+    from repro.edge.evidence import EVIDENCE_CERTIFICATE, StalenessEvidence
+    return StalenessEvidence(kind=EVIDENCE_CERTIFICATE,
+                             issued_at_us=int(issued_at * 1_000_000),
+                             replicas=("replica0", "replica1", "replica2"))
+
+
+def _vector_evidence(issued_at, seq=8, root=b"root8"):
+    from repro.edge.evidence import EVIDENCE_VECTOR, StalenessEvidence
+    return StalenessEvidence(kind=EVIDENCE_VECTOR,
+                             issued_at_us=int(issued_at * 1_000_000),
+                             replicas=("replica1",), checkpoint_seq=seq,
+                             root_digest=root,
+                             stable_at_us=int(issued_at * 1_000_000))
+
+
+_HISTORIES = {r: [(0, b"root0"), (4, b"root4"), (8, b"root8")]
+              for r in CORRECT}
+
+
+def test_staleness_contract_accepts_a_clean_ladder():
+    from repro.faultlab.invariants import check_staleness_contract
+    records = [
+        _edge_record("linearizable", None, 1.0, _cert_evidence(1.0)),
+        _edge_record("bounded_stale", 0.5, 1.4, _vector_evidence(1.0)),
+        _edge_record("last_known_good", None, 9.0, _vector_evidence(1.0)),
+    ]
+    assert check_staleness_contract(
+        records, _HISTORIES, breaker_states=[(0, "closed")],
+        expect_repromotion=True) == []
+
+
+def test_staleness_contract_rejects_masquerading_linearizable():
+    from repro.faultlab.invariants import check_staleness_contract
+    records = [_edge_record("linearizable", None, 1.0, _vector_evidence(1.0))]
+    violations = check_staleness_contract(records, _HISTORIES)
+    assert len(violations) == 1
+    assert "claims linearizable" in violations[0].detail
+
+
+def test_staleness_contract_rejects_bound_overrun():
+    from repro.faultlab.invariants import check_staleness_contract
+    records = [_edge_record("bounded_stale", 0.5, 2.0, _vector_evidence(1.0))]
+    violations = check_staleness_contract(records, _HISTORIES)
+    assert len(violations) == 1
+    assert "exceeds its advertised bound" in violations[0].detail
+
+
+def test_staleness_contract_rejects_fabricated_vector():
+    from repro.faultlab.invariants import check_staleness_contract
+    records = [_edge_record("bounded_stale", 0.5, 1.2,
+                            _vector_evidence(1.0, seq=99, root=b"forged"))]
+    violations = check_staleness_contract(records, _HISTORIES)
+    assert len(violations) == 1
+    assert "matches no correct replica" in violations[0].detail
+
+
+def test_staleness_contract_requires_evidence_and_repromotion():
+    from repro.faultlab.invariants import check_staleness_contract
+    records = [_edge_record("bounded_stale", 0.5, 1.2, None)]
+    violations = check_staleness_contract(
+        records, _HISTORIES, breaker_states=[(0, "open")],
+        expect_repromotion=True)
+    assert len(violations) == 2
+    assert "no staleness evidence" in violations[0].detail
+    assert "expected re-promotion" in violations[1].detail

@@ -6,6 +6,7 @@ from repro.faultlab.plan import (
     BackendFault,
     CrashFault,
     DelaySpikeFault,
+    EdgePartitionFault,
     FaultPlan,
     LossFault,
     PartitionFault,
@@ -25,6 +26,7 @@ def full_plan():
         RecoveryFault(3, start=4.0),
         BackendFault(1, "corrupting", params={"probability": 1.0, "seed": 7},
                      start=0.0, stop=8.0),
+        EdgePartitionFault(start=2.5, stop=3.5),
     ))
 
 
@@ -32,7 +34,7 @@ def test_json_round_trip_covers_every_fault_kind():
     plan = full_plan()
     assert {f.kind for f in plan} == {
         "replica", "partition", "loss", "delay_spike",
-        "crash", "recovery", "backend"}
+        "crash", "recovery", "backend", "edge_partition"}
     assert FaultPlan.from_json(plan.to_json()) == plan
 
 
