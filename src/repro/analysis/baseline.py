@@ -63,6 +63,21 @@ def dump(fingerprints: Sequence[str], path: Path) -> None:
                     encoding="utf-8")
 
 
+def prune(path: Path, findings: Sequence[Finding]) -> List[str]:
+    """Drop baseline entries matching no current finding; returns the
+    removed fingerprints.  Idempotent: pruning a pruned file removes
+    nothing.  A missing baseline file is a no-op."""
+    if not path.exists():
+        return []
+    fingerprints = load(path)
+    current = {f.fingerprint for f in findings}
+    kept = [fp for fp in fingerprints if fp in current]
+    removed = [fp for fp in fingerprints if fp not in current]
+    if removed:
+        dump(kept, path)
+    return removed
+
+
 def apply(findings: Sequence[Finding],
           fingerprints: Sequence[str]) -> BaselineDiff:
     """Split ``findings`` into new vs grandfathered; detect stale entries."""

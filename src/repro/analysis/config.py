@@ -77,6 +77,49 @@ IO_ALLOWED = frozenset({
     "harness/complexity.py", "harness/report.py",
 })
 
+# -- deep-pass anchors ---------------------------------------------------------
+# Dotted names the interprocedural passes resolve against.  They name
+# *this repo's* agreement-critical surfaces; fixture trees re-declare
+# classes under the same dotted roots, so the anchors work unchanged.
+
+#: Root of the wire-message hierarchy: every subclass with a ``kind``
+#: class attribute is a wire payload (constructor args are a taint sink,
+#: and its kind must have a ``handle_<kind>`` handler somewhere).
+MESSAGE_ROOT = "repro.bft.messages.Message"
+
+#: Root of the protocol-node hierarchy (``handle_<kind>`` dispatch).
+NODE_ROOT = "repro.sim.node.Node"
+
+#: Canonical-encoding sink: tainted payloads break replica agreement.
+CANONICAL_SINKS = frozenset({"repro.encoding.canonical.canonical"})
+
+#: Digest sink: everything digested feeds a MAC, certificate, or
+#: checkpoint identity.
+DIGEST_SINKS = frozenset({"repro.crypto.digest.digest"})
+
+#: Abstract-state mutation sinks (dotted, plus bare method names for
+#: calls the resolver cannot type) — gated on reachability from a
+#: message handler.
+STATE_SINKS = frozenset({
+    "repro.base.state.AbstractStateManager.modify",
+    "repro.base.state.AbstractStateManager.apply_fetched",
+    "repro.base.upcalls.Upcalls.put_objs",
+})
+STATE_SINK_NAMES = frozenset({"modify", "apply_fetched", "put_objs"})
+
+#: Packages whose ``handle_*`` methods must charge the CostModel.
+COST_PACKAGES = frozenset({"bft"})
+
+#: Files exempt from DEEP-QUORUM: where the helpers themselves live.
+QUORUM_EXEMPT = frozenset({"bft/config.py"})
+
+#: Packages where a ``len(x) >= <literal>`` compare is treated as a
+#: hardcoded quorum threshold.  Only where votes are actually counted —
+#: elsewhere that shape is almost always a tuple-arity check on a
+#: decoded op, not quorum logic.  Inline ``2f+1`` / ``f+1`` arithmetic
+#: is flagged in the whole protocol scope regardless.
+QUORUM_LEN_PACKAGES = frozenset({"bft", "edge"})
+
 
 @dataclass(frozen=True)
 class AnalysisConfig:
@@ -84,6 +127,16 @@ class AnalysisConfig:
     replay_packages: FrozenSet[str] = REPLAY_PACKAGES
     perf_counter_allowed: FrozenSet[str] = PERF_COUNTER_ALLOWED
     io_allowed: FrozenSet[str] = IO_ALLOWED
+    # deep-pass anchors (see module docstring comments above)
+    message_root: str = MESSAGE_ROOT
+    node_root: str = NODE_ROOT
+    canonical_sinks: FrozenSet[str] = CANONICAL_SINKS
+    digest_sinks: FrozenSet[str] = DIGEST_SINKS
+    state_sinks: FrozenSet[str] = STATE_SINKS
+    state_sink_names: FrozenSet[str] = STATE_SINK_NAMES
+    cost_packages: FrozenSet[str] = COST_PACKAGES
+    quorum_exempt: FrozenSet[str] = QUORUM_EXEMPT
+    quorum_len_packages: FrozenSet[str] = QUORUM_LEN_PACKAGES
 
     def in_protocol(self, rel: str) -> bool:
         return ("*" in self.protocol_packages
@@ -99,6 +152,17 @@ class AnalysisConfig:
     def io_ok(self, rel: str) -> bool:
         return rel in self.io_allowed
 
+    def in_cost_scope(self, rel: str) -> bool:
+        return "*" in self.cost_packages or _top(rel) in self.cost_packages
+
+    def quorum_checked(self, rel: str) -> bool:
+        return self.in_protocol(rel) and rel not in self.quorum_exempt
+
+    def quorum_len_checked(self, rel: str) -> bool:
+        return self.quorum_checked(rel) and (
+            "*" in self.quorum_len_packages
+            or _top(rel) in self.quorum_len_packages)
+
 
 #: Config used by tests pointing rules at fixture files: every scope
 #: check passes (``"*"`` wildcard), so each rule exercises its logic
@@ -108,4 +172,16 @@ EVERYWHERE = AnalysisConfig(
     replay_packages=frozenset({"*"}),
     perf_counter_allowed=frozenset(),
     io_allowed=frozenset(),
+)
+
+#: Deep-pass test config: fixture trees live under arbitrary paths, so
+#: every scope check passes and no file is exempt.
+DEEP_EVERYWHERE = AnalysisConfig(
+    protocol_packages=frozenset({"*"}),
+    replay_packages=frozenset({"*"}),
+    perf_counter_allowed=frozenset(),
+    io_allowed=frozenset(),
+    cost_packages=frozenset({"*"}),
+    quorum_exempt=frozenset(),
+    quorum_len_packages=frozenset({"*"}),
 )

@@ -1,0 +1,20 @@
+"""DeepLint: interprocedural dataflow and protocol-conformance analysis.
+
+Whole-program companions to the per-file ProtoLint rules:
+
+- :mod:`repro.analysis.deep.project`   — parsed-module model + resolver
+- :mod:`repro.analysis.deep.callgraph` — project-wide call graph
+- :mod:`repro.analysis.deep.taint`     — nondeterminism-taint fixpoint
+- :mod:`repro.analysis.deep.conformance` — handler/cost/quorum passes
+- :mod:`repro.analysis.deep.driver`    — ``run_deep()`` entry point
+
+Only the catalog is re-exported here: the engine imports
+``repro.analysis.deep.catalog`` for the rule ids, so this package
+``__init__`` must not import the passes (they import the engine).
+"""
+
+from repro.analysis.deep.catalog import (DEEP_RULE_IDS, DEEP_RULES,
+                                         DEEP_RULES_BY_ID, DeepRuleInfo)
+
+__all__ = ["DEEP_RULE_IDS", "DEEP_RULES", "DEEP_RULES_BY_ID",
+           "DeepRuleInfo"]

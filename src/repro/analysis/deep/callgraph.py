@@ -1,0 +1,284 @@
+"""Project-wide call graph over the :class:`~.project.Project` model.
+
+Resolution strategy, most to least precise:
+
+1. module-scope dotted resolution (``helper()``, ``mod.func()``,
+   aliased imports, class constructors);
+2. method resolution on locally-defined classes: ``self.m()`` walks the
+   MRO plus descendant overrides, ``super().m()`` starts past the
+   current class, ``self.attr.m()`` / ``v.m()`` go through the inferred
+   ``self.attr = Cls(...)`` / ``v = Cls(...)`` instance types;
+3. ``@op``-decorated methods get a synthetic dispatch edge from the
+   ``execute`` method of their class hierarchy (the service kernel's
+   table dispatch is invisible to syntactic resolution);
+4. conservative fallback: an attribute call that resolves to nothing is
+   linked to *every* project method of that name — except names of
+   builtin container/str methods, which would drown the graph in false
+   edges (``d.get``, ``lst.append``, ...).
+
+Everything is ordered: callee tuples are sorted, iteration over the
+graph is by sorted qualname, so downstream passes are deterministic.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.deep.project import (BUILTIN_METHODS, FunctionInfo,
+                                         Project)
+
+
+class CallSite:
+    """One resolved ``ast.Call`` inside a function body."""
+
+    __slots__ = ("node", "line", "targets", "external", "ctor", "fallback")
+
+    def __init__(self, node: ast.Call, targets: Tuple[str, ...],
+                 external: Optional[str], ctor: Optional[str],
+                 fallback: bool):
+        self.node = node
+        self.line = node.lineno
+        #: Project function qualnames this call may reach.
+        self.targets = targets
+        #: Resolved dotted name outside the project (``time.time``,
+        #: ``builtins.hash``) — None when unresolved.
+        self.external = external
+        #: Class dotted name when the call constructs an instance.
+        self.ctor = ctor
+        self.fallback = fallback
+
+
+class FunctionAnalysis:
+    """Call sites plus the local symbol info body passes reuse."""
+
+    __slots__ = ("info", "callsites", "by_node", "local_types",
+                 "local_funcs", "lambdas", "calls_charge")
+
+    def __init__(self, info: FunctionInfo):
+        self.info = info
+        self.callsites: List[CallSite] = []
+        self.by_node: Dict[int, CallSite] = {}
+        #: local var -> sorted tuple of instance class dotted names.
+        self.local_types: Dict[str, Tuple[str, ...]] = {}
+        #: local name -> function qualname (nested defs, aliases).
+        self.local_funcs: Dict[str, str] = {}
+        #: local name -> ast.Lambda bound to it.
+        self.lambdas: Dict[str, ast.Lambda] = {}
+        #: body contains a literal ``*.charge(...)`` call.
+        self.calls_charge: bool = False
+
+
+class CallGraph:
+    """Edges + per-function analyses for the whole project."""
+
+    def __init__(self, project: Project):
+        self.project = project
+        self.analyses: Dict[str, FunctionAnalysis] = {}
+        self.edges: Dict[str, Tuple[str, ...]] = {}
+        self.reverse: Dict[str, Tuple[str, ...]] = {}
+        self._reach_cache: Dict[str, Tuple[str, ...]] = {}
+
+    def analysis(self, qualname: str) -> Optional[FunctionAnalysis]:
+        return self.analyses.get(qualname)
+
+    def callees(self, qualname: str) -> Tuple[str, ...]:
+        return self.edges.get(qualname, ())
+
+    def callers(self, qualname: str) -> Tuple[str, ...]:
+        return self.reverse.get(qualname, ())
+
+    def reachable(self, qualname: str) -> Tuple[str, ...]:
+        """Sorted transitive closure of callees, including the root."""
+        cached = self._reach_cache.get(qualname)
+        if cached is not None:
+            return cached
+        seen: Set[str] = set()
+        stack = [qualname]
+        while stack:
+            q = stack.pop()
+            if q in seen:
+                continue
+            seen.add(q)
+            stack.extend(self.edges.get(q, ()))
+        out = tuple(sorted(seen))
+        self._reach_cache[qualname] = out
+        return out
+
+
+def build_callgraph(project: Project) -> CallGraph:
+    graph = CallGraph(project)
+    edges: Dict[str, Set[str]] = {}
+    for qualname in sorted(project.functions):
+        info = project.functions[qualname]
+        analysis = _analyze_function(project, info)
+        graph.analyses[qualname] = analysis
+        out = edges.setdefault(qualname, set())
+        for site in analysis.callsites:
+            out.update(site.targets)
+
+    # Synthetic dispatch edges: execute() -> every @op method of the
+    # class hierarchy it dispatches over.
+    for qualname in sorted(project.functions):
+        info = project.functions[qualname]
+        if not info.is_op or info.cls is None:
+            continue
+        for execute in project.find_methods(info.cls.qualname, "execute"):
+            edges.setdefault(execute.qualname, set()).add(qualname)
+
+    graph.edges = {q: tuple(sorted(t)) for q, t in sorted(edges.items())}
+    rev: Dict[str, Set[str]] = {}
+    for src in sorted(graph.edges):
+        for dst in graph.edges[src]:
+            rev.setdefault(dst, set()).add(src)
+    graph.reverse = {q: tuple(sorted(s)) for q, s in sorted(rev.items())}
+    return graph
+
+
+# -- per-function resolution ---------------------------------------------------
+
+def _analyze_function(project: Project,
+                      info: FunctionInfo) -> FunctionAnalysis:
+    analysis = FunctionAnalysis(info)
+    module = info.module
+    body = info.node.body
+
+    # Pre-pass: local instance types, nested/aliased functions, lambdas.
+    types: Dict[str, Set[str]] = {}
+    for node in ast.walk(info.node):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                and node is not info.node:
+            nested = f"{info.qualname}.{node.name}"
+            if nested in project.functions:
+                analysis.local_funcs[node.name] = nested
+        elif isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                and isinstance(node.targets[0], ast.Name):
+            name = node.targets[0].id
+            value = node.value
+            if isinstance(value, ast.Lambda):
+                analysis.lambdas[name] = value
+            elif isinstance(value, ast.Call) and \
+                    isinstance(value.func, (ast.Name, ast.Attribute)):
+                dotted = project.resolve_dotted(module, value.func)
+                if dotted is not None and (dotted in project.classes
+                                           or "." in dotted):
+                    if dotted in project.classes or \
+                            dotted.split(".")[-1][:1].isupper():
+                        types.setdefault(name, set()).add(dotted)
+            elif isinstance(value, (ast.Name, ast.Attribute)):
+                dotted = project.resolve_dotted(module, value)
+                if dotted in project.functions:
+                    analysis.local_funcs[name] = dotted
+    analysis.local_types = {n: tuple(sorted(v))
+                            for n, v in sorted(types.items())}
+
+    for node in ast.walk(info.node):
+        if not isinstance(node, ast.Call):
+            continue
+        site = _resolve_call(project, analysis, node)
+        analysis.callsites.append(site)
+        analysis.by_node[id(node)] = site
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr == "charge":
+            analysis.calls_charge = True
+    analysis.callsites.sort(key=lambda s: (s.line, s.node.col_offset))
+    _ = body
+    return analysis
+
+
+def _instance_methods(project: Project, type_dotted: str,
+                      name: str) -> Tuple[Tuple[str, ...], Optional[str]]:
+    """Resolve ``<instance of type_dotted>.name`` -> (project targets,
+    external dotted)."""
+    if type_dotted in project.classes:
+        found = project.find_methods(type_dotted, name)
+        if found:
+            return tuple(f.qualname for f in found), None
+        return (), None
+    return (), f"{type_dotted}.{name}"
+
+
+def _resolve_call(project: Project, analysis: FunctionAnalysis,
+                  node: ast.Call) -> CallSite:
+    info = analysis.info
+    module = info.module
+    func = node.func
+    targets: List[str] = []
+    external: Optional[str] = None
+    ctor: Optional[str] = None
+    fallback = False
+
+    def classify_dotted(dotted: str) -> None:
+        nonlocal external, ctor
+        dotted = project.normalize(dotted)
+        if dotted in project.functions:
+            targets.append(dotted)
+        elif dotted in project.classes:
+            ctor = dotted
+            for init in project.find_methods(dotted, "__init__"):
+                targets.append(init.qualname)
+        else:
+            external = dotted
+
+    if isinstance(func, ast.Name):
+        name = func.id
+        if name in analysis.local_funcs:
+            targets.append(analysis.local_funcs[name])
+        elif name in analysis.lambdas:
+            pass  # inlined by the taint pass
+        else:
+            dotted = project.resolve_name(module, name)
+            if dotted is not None:
+                classify_dotted(dotted)
+    elif isinstance(func, ast.Attribute):
+        attr = func.attr
+        base = func.value
+        resolved = False
+        # super().m(...)
+        if isinstance(base, ast.Call) and isinstance(base.func, ast.Name) \
+                and base.func.id == "super" and info.cls is not None:
+            for m in project.find_methods(info.cls.qualname, attr,
+                                          skip_own=True):
+                targets.append(m.qualname)
+            resolved = True
+        # self.m(...) / self.x.m(...)
+        elif isinstance(base, ast.Name) and base.id == "self" \
+                and info.cls is not None:
+            found = project.find_methods(info.cls.qualname, attr)
+            if found:
+                targets.extend(f.qualname for f in found)
+                resolved = True
+        elif isinstance(base, ast.Attribute) \
+                and isinstance(base.value, ast.Name) \
+                and base.value.id == "self" and info.cls is not None:
+            for type_dotted in info.cls.attr_class_types.get(base.attr, ()):
+                found, ext = _instance_methods(project, type_dotted, attr)
+                targets.extend(found)
+                if found or ext:
+                    resolved = True
+                    if ext and external is None:
+                        external = ext
+        elif isinstance(base, ast.Name) and base.id in analysis.local_types:
+            for type_dotted in analysis.local_types[base.id]:
+                found, ext = _instance_methods(project, type_dotted, attr)
+                targets.extend(found)
+                if found or ext:
+                    resolved = True
+                    if ext and external is None:
+                        external = ext
+        if not resolved and not targets:
+            dotted = project.resolve_dotted(module, func)
+            if dotted is not None:
+                classify_dotted(dotted)
+                resolved = True
+        if not resolved and not targets and external is None:
+            # Conservative fallback: link by method name, excluding
+            # builtin container/str method names.
+            if attr not in BUILTIN_METHODS:
+                by_name = project.methods_by_name.get(attr, ())
+                if by_name:
+                    targets.extend(by_name)
+                    fallback = True
+
+    unique = tuple(sorted(set(targets)))
+    return CallSite(node, unique, external, ctor, fallback)

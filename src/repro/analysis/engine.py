@@ -40,6 +40,11 @@ class Finding:
 
     The field order *is* the sort order: findings group by file, then by
     position, then by rule — stable across runs and Python versions.
+
+    ``chain`` is used by the interprocedural (deep) passes: the full
+    source→sink path, one ``"frame (file:line)"`` string per hop.  It is
+    deliberately excluded from the fingerprint — call-chain line numbers
+    churn, baselines must not.
     """
 
     path: str
@@ -48,6 +53,7 @@ class Finding:
     rule: str
     message: str
     severity: str = "error"
+    chain: Tuple[str, ...] = ()
 
     @property
     def fingerprint(self) -> str:
@@ -55,9 +61,13 @@ class Finding:
         return f"{self.rule}:{self.path}:{self.message}"
 
     def to_dict(self) -> Dict[str, object]:
-        return {"rule": self.rule, "path": self.path, "line": self.line,
-                "col": self.col, "message": self.message,
-                "severity": self.severity}
+        out: Dict[str, object] = {
+            "rule": self.rule, "path": self.path, "line": self.line,
+            "col": self.col, "message": self.message,
+            "severity": self.severity}
+        if self.chain:
+            out["chain"] = list(self.chain)
+        return out
 
     def render(self) -> str:
         return (f"{self.path}:{self.line}:{self.col}: "
@@ -216,7 +226,12 @@ class Engine:
     def check_source(self, source: str, rel: str) -> List[Finding]:
         """Check one file's text; ``rel`` is its path used in findings
         and in rule scope decisions (e.g. ``bft/replica.py``)."""
-        ctx = FileContext(rel, source, self.config, self.rule_ids)
+        # The deep rule ids are always part of the suppression
+        # vocabulary: a file-level pass must not flag a suppression
+        # aimed at the interprocedural pass as unknown.
+        from repro.analysis.deep.catalog import DEEP_RULE_IDS
+        known = tuple(self.rule_ids) + tuple(DEEP_RULE_IDS)
+        ctx = FileContext(rel, source, self.config, known)
         try:
             tree = ast.parse(source, filename=rel)
         except SyntaxError as err:

@@ -16,7 +16,9 @@ from typing import Any, Dict, Sequence
 from repro.analysis.baseline import BaselineDiff
 from repro.analysis.engine import SEVERITIES, Finding
 
-SCHEMA_VERSION = 1
+#: v2 added the optional per-finding ``chain`` field (deep-pass
+#: source→sink paths, one "frame (file:line)" string per hop).
+SCHEMA_VERSION = 2
 
 REPORT_KIND = "protolint_report"
 
@@ -40,6 +42,9 @@ _FINDING_FIELDS = {
     "message": str,
     "severity": str,
 }
+
+#: Fields a finding may carry beyond the required set.
+_FINDING_OPTIONAL = ("chain",)
 
 _COUNT_FIELDS = ("errors", "warnings", "baselined", "stale_baseline")
 
@@ -90,9 +95,17 @@ def validate(report: Dict[str, Any]) -> None:
     if set(counts) != set(_COUNT_FIELDS):
         raise ValueError(f"counts must have exactly {_COUNT_FIELDS}")
     for i, doc in enumerate(report["findings"]):
-        if not isinstance(doc, dict) or set(doc) != set(_FINDING_FIELDS):
+        if not isinstance(doc, dict) or \
+                set(doc) - set(_FINDING_OPTIONAL) != set(_FINDING_FIELDS):
             raise ValueError(f"findings[{i}] must have exactly "
-                             f"{sorted(_FINDING_FIELDS)}")
+                             f"{sorted(_FINDING_FIELDS)} (plus optional "
+                             f"{_FINDING_OPTIONAL})")
+        chain = doc.get("chain")
+        if chain is not None and (
+                not isinstance(chain, list) or not chain
+                or not all(isinstance(s, str) for s in chain)):
+            raise ValueError(f"findings[{i}].chain must be a non-empty "
+                             f"list of strings")
         for key, typ in _FINDING_FIELDS.items():
             if typ is int:
                 if not isinstance(doc[key], int) or \
@@ -137,4 +150,5 @@ def finding_from_dict(doc: Dict[str, Any]) -> Finding:
     """Rehydrate a Finding from a report entry (for tooling/tests)."""
     return Finding(path=doc["path"], line=doc["line"], col=doc["col"],
                    rule=doc["rule"], message=doc["message"],
-                   severity=doc["severity"])
+                   severity=doc["severity"],
+                   chain=tuple(doc.get("chain", ())))

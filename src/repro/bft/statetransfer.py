@@ -158,6 +158,7 @@ class StateTransferManager:
 
     def on_fetch_cert(self, src, msg: FetchCert) -> None:
         r = self.replica
+        r.charge(r.costs.digest(64 * len(r.stable_cert)))
         reply = CertReply(r.node_id, msg.nonce, r.stable_cert,
                           new_view=r.view_changes.last_new_view)
         r.send(src, reply)
@@ -274,6 +275,7 @@ class StateTransferManager:
         entry = r.table_checkpoints.get(msg.seq)
         if entry is None:
             return
+        r.charge(r.costs.digest(len(entry[1])))
         r.send(src, TableReply(r.node_id, msg.seq, entry[1]))
 
     def on_table_reply(self, src, msg: TableReply) -> None:

@@ -101,7 +101,7 @@ class ViewChangeManager:
             candidates = sorted(v for v, by in self.received.items()
                                 if v > (self.target_view if self.active
                                         else r.view)
-                                and len(by) >= r.config.f + 1)
+                                and len(by) >= r.config.weak_quorum)
             if candidates:
                 self.start(candidates[0])
         self._maybe_assemble(msg.view)

@@ -262,6 +262,7 @@ class EdgeTier:
             if len(shards) != 1:
                 raise EdgeUnavailable(
                     f"op {decoded[0]!r} spans shards {sorted(shards)}")
+            # protolint: disable=DEEP-TAINT singleton set (guarded by the len != 1 raise above), so pop() is deterministic
             return shards.pop(), keys[0] if len(keys) == 1 else tuple(keys)
         try:
             target = extractor.extract(decanonical(op))

@@ -135,6 +135,7 @@ class ShardRouter(Channel):
         shards = {self.shard_of(key) for key in keys}
         if len(shards) != 1:
             raise CrossShardOp(kind, shards)
+        # protolint: disable=DEEP-TAINT singleton set (guarded by the len != 1 raise above), so pop() is deterministic
         return shards.pop()
 
     def _pin(self, key: Any, shard: int) -> None:

@@ -1,0 +1,6 @@
+class Message:
+    kind = "message"
+
+
+class Ping(Message):
+    kind = "ping"

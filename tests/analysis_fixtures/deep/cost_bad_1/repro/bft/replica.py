@@ -1,0 +1,9 @@
+from repro.sim.node import Node
+
+
+class Replica(Node):
+    def handle_ping(self, src, msg):
+        self.log(msg)
+
+    def log(self, msg):
+        return msg

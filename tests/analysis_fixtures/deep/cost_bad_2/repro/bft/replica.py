@@ -1,0 +1,16 @@
+from repro.sim.node import Node
+
+
+class Replica(Node):
+    def handle_ping(self, src, msg):
+        self.auth(msg)
+
+    def handle_pong(self, src, msg):
+        self.note(msg)
+
+    def auth(self, msg):
+        self.charge(1)
+        return msg
+
+    def note(self, msg):
+        return msg

@@ -1,0 +1,13 @@
+from repro.sim.node import Node
+
+
+class Replica(Node):
+    def handle_ping(self, src, msg):
+        self.auth(msg)
+
+    def auth(self, msg):
+        self.verify(msg)
+        return msg
+
+    def verify(self, msg):
+        self.charge(len(msg))

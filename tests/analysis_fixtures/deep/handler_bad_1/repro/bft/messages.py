@@ -1,0 +1,10 @@
+class Message:
+    kind = "message"
+
+
+class Ping(Message):
+    kind = "ping"
+
+
+class Pong(Message):
+    kind = "pong"

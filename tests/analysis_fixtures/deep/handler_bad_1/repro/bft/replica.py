@@ -1,0 +1,7 @@
+from repro.sim.node import Node
+
+
+class Replica(Node):
+    def handle_ping(self, src, msg):
+        self.charge(1)
+        return msg

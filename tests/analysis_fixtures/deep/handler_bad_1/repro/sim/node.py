@@ -1,0 +1,3 @@
+class Node:
+    def charge(self, units):
+        return units

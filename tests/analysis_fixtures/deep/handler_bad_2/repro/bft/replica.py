@@ -1,0 +1,11 @@
+from repro.sim.node import Node
+
+
+class Replica(Node):
+    def handle_ping(self, src, msg):
+        self.charge(1)
+        return msg
+
+    def handle_zap(self, src, msg):
+        self.charge(1)
+        return msg

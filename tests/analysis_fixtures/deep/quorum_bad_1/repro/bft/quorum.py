@@ -1,0 +1,10 @@
+class Tally:
+    def __init__(self, config):
+        self.config = config
+        self.votes = {}
+
+    def prepared(self):
+        return len(self.votes) >= 2 * self.config.f + 1
+
+    def weak(self):
+        return len(self.votes) >= self.config.f + 1

@@ -1,0 +1,6 @@
+def committed(votes):
+    return len(votes) >= 3
+
+
+def weak(votes, f):
+    return len(votes) >= f + 1

@@ -1,0 +1,6 @@
+def prepared(votes, config):
+    return len(votes) >= config.quorum
+
+
+def weak(votes, config):
+    return len(votes) >= config.weak_quorum

@@ -1,0 +1,13 @@
+import time
+
+from repro.encoding.canonical import canonical
+
+
+def now_ts():
+    # protolint: disable=DET-CLOCK deliberate bad input for the deep taint pass
+    return time.time()
+
+
+def build_payload(seq):
+    ts = now_ts()
+    return canonical((seq, ts))

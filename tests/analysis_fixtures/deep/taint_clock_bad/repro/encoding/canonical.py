@@ -1,0 +1,2 @@
+def canonical(value):
+    return repr(value).encode()

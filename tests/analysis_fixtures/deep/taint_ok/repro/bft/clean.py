@@ -1,0 +1,18 @@
+import time
+
+from repro.encoding.canonical import canonical
+
+
+class Batcher:
+    def __init__(self):
+        self.pending = set()
+
+    def drain(self):
+        return sorted(self.pending)
+
+
+def build(batcher):
+    items = batcher.drain()
+    # protolint: disable=DET-CLOCK sanitized below; exercises the len() sanitizer
+    elapsed = time.time()
+    return canonical((items, len(str(elapsed))))

@@ -1,0 +1,3 @@
+class AbstractStateManager:
+    def modify(self, index):
+        return index

@@ -1,0 +1,9 @@
+class Message:
+    kind = "message"
+
+    def __init__(self, body=()):
+        self.payload = body
+
+
+class Ping(Message):
+    kind = "ping"

@@ -1,0 +1,2 @@
+def digest(blob):
+    return blob[:8]

@@ -1,0 +1,423 @@
+"""DeepLint: fixture rules, call-graph edge cases, CLI flags.
+
+Fixture trees live under ``tests/analysis_fixtures/deep/<case>/repro/``:
+the ``repro/`` directory makes the loader assign the same dotted module
+names the real package gets, so the sink/root anchors in the analysis
+config resolve against the fixtures unchanged.
+"""
+
+import json
+import subprocess
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import baseline as baselinelib
+from repro.analysis import report as reportlib
+from repro.analysis.__main__ import main
+from repro.analysis.config import DEEP_EVERYWHERE
+from repro.analysis.deep.callgraph import build_callgraph
+from repro.analysis.deep.catalog import DEEP_RULE_IDS, DEEP_RULES_BY_ID
+from repro.analysis.deep.driver import run_deep
+from repro.analysis.deep.project import load_project
+from repro.analysis.engine import Finding
+
+FIXTURES = Path(__file__).parent / "analysis_fixtures" / "deep"
+
+#: case dir -> (rule id, expected findings of that rule)
+CASES = {
+    "taint_clock_bad": ("DEEP-TAINT", 1),
+    "taint_value_bad": ("DEEP-TAINT", 2),
+    "taint_setorder_bad": ("DEEP-TAINT", 2),
+    "taint_ok": ("DEEP-TAINT", 0),
+    "handler_bad_1": ("DEEP-HANDLER", 1),
+    "handler_bad_2": ("DEEP-HANDLER", 2),
+    "handler_ok": ("DEEP-HANDLER", 0),
+    "cost_bad_1": ("DEEP-COST", 1),
+    "cost_bad_2": ("DEEP-COST", 1),
+    "cost_ok": ("DEEP-COST", 0),
+    "quorum_bad_1": ("DEEP-QUORUM", 2),
+    "quorum_bad_2": ("DEEP-QUORUM", 2),
+    "quorum_ok": ("DEEP-QUORUM", 0),
+}
+
+
+def deep(case: str):
+    return run_deep([FIXTURES / case], DEEP_EVERYWHERE)
+
+
+def of_rule(findings, rule_id):
+    return [f for f in findings if f.rule == rule_id]
+
+
+def test_every_deep_rule_has_fixture_coverage():
+    covered = {rule for rule, count in CASES.values() if count}
+    assert covered == set(DEEP_RULE_IDS)
+    # At least two bad fixtures and one ok fixture per rule.
+    for rule_id in DEEP_RULE_IDS:
+        bad = [c for c, (r, n) in CASES.items() if r == rule_id and n]
+        ok = [c for c, (r, n) in CASES.items() if r == rule_id and not n]
+        assert len(bad) >= 2, f"{rule_id} needs >=2 bad fixtures"
+        assert ok, f"{rule_id} needs an ok fixture"
+
+
+@pytest.mark.parametrize("case", sorted(CASES))
+def test_fixture(case):
+    rule_id, expected = CASES[case]
+    found = of_rule(deep(case), rule_id)
+    rendered = "\n".join(f.render() for f in found)
+    assert len(found) == expected, \
+        f"{case}: expected {expected} {rule_id}, got:\n{rendered}"
+
+
+def test_catalog_is_complete():
+    for rule_id in DEEP_RULE_IDS:
+        info = DEEP_RULES_BY_ID[rule_id]
+        assert info.title and info.rationale and info.example
+
+
+def test_taint_finding_carries_source_to_sink_chain():
+    (finding,) = deep("taint_clock_bad")
+    assert finding.rule == "DEEP-TAINT"
+    assert finding.path == "bft/build.py"
+    assert finding.chain[0].startswith("source: time.time()")
+    assert finding.chain[-1].startswith("sink: canonical()")
+    assert any("now_ts" in hop for hop in finding.chain)
+    # The message names the path by function only — line churn in the
+    # chain must not churn the baseline fingerprint.
+    assert "now_ts" in finding.message
+    assert ":" not in finding.message.split(" via ")[1]
+
+
+def test_handler_orphan_is_a_warning():
+    findings = of_rule(deep("handler_bad_2"), "DEEP-HANDLER")
+    by_severity = {f.severity for f in findings}
+    assert by_severity == {"error", "warning"}
+    orphan = [f for f in findings if f.severity == "warning"]
+    assert "handle_zap" in orphan[0].message
+
+
+def test_state_sink_reported_through_handler():
+    findings = of_rule(deep("taint_setorder_bad"), "DEEP-TAINT")
+    labels = {f.message.split(" reaches ")[1].split(" in ")[0]
+              for f in findings}
+    assert any("abstract-state write" in label for label in labels)
+    assert any("wire message Ping" in label for label in labels)
+
+
+def test_deep_runs_are_deterministic():
+    roots = [FIXTURES / case for case in sorted(CASES)]
+    one = run_deep(roots, DEEP_EVERYWHERE)
+    two = run_deep(roots, DEEP_EVERYWHERE)
+    assert one == two
+    dump = lambda fs: json.dumps([f.to_dict() for f in fs])  # noqa: E731
+    assert dump(one) == dump(two)
+
+
+# -- call-graph edge cases (synthetic trees) -----------------------------------
+
+CANONICAL_SRC = "def canonical(value):\n    return repr(value).encode()\n"
+
+
+def write_tree(root: Path, files):
+    for rel, source in files.items():
+        path = root / "repro" / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return root
+
+
+def test_op_dispatch_edge(tmp_path):
+    """@op methods get a synthetic edge from execute(): a handler that
+    charges only inside an @op body still satisfies DEEP-COST."""
+    write_tree(tmp_path, {
+        "sim/node.py": """\
+            class Node:
+                def charge(self, units):
+                    return units
+            """,
+        "bft/messages.py": """\
+            class Message:
+                kind = "message"
+
+
+            class Ping(Message):
+                kind = "ping"
+            """,
+        "bft/svc.py": """\
+            from repro.sim.node import Node
+
+
+            def op(method):
+                return method
+
+
+            class Service(Node):
+                def handle_ping(self, src, msg):
+                    self.execute(msg)
+
+                def execute(self, args):
+                    return args
+
+                @op
+                def put(self, value):
+                    self.charge(1)
+                    return value
+            """,
+    })
+    project = load_project([tmp_path], DEEP_EVERYWHERE)
+    graph = build_callgraph(project)
+    execute = "repro.bft.svc.Service.execute"
+    assert "repro.bft.svc.Service.put" in graph.callees(execute)
+    findings = run_deep([tmp_path], DEEP_EVERYWHERE)
+    assert not of_rule(findings, "DEEP-COST")
+
+
+def test_super_call_resolution(tmp_path):
+    write_tree(tmp_path, {
+        "encoding/canonical.py": CANONICAL_SRC,
+        "bft/layers.py": """\
+            import time
+
+            from repro.encoding.canonical import canonical
+
+
+            class Base:
+                def stamp(self):
+                    return time.time()
+
+
+            class Child(Base):
+                def stamp(self):
+                    return 0
+
+                def build(self):
+                    return canonical(super().stamp())
+            """,
+    })
+    findings = of_rule(run_deep([tmp_path], DEEP_EVERYWHERE),
+                       "DEEP-TAINT")
+    # super().stamp() resolves past Child.stamp (which is clean) to
+    # Base.stamp (tainted).
+    assert len(findings) == 1
+    assert any("Base.stamp" in hop for hop in findings[0].chain)
+
+
+def test_lambda_and_comprehension(tmp_path):
+    write_tree(tmp_path, {
+        "encoding/canonical.py": CANONICAL_SRC,
+        "bft/funcs.py": """\
+            import time
+
+            from repro.encoding.canonical import canonical
+
+
+            def via_lambda():
+                f = lambda: time.time()
+                return canonical(f())
+
+
+            def via_comprehension():
+                pending = {1, 2, 3}
+                return canonical([x for x in pending])
+            """,
+    })
+    findings = of_rule(run_deep([tmp_path], DEEP_EVERYWHERE),
+                       "DEEP-TAINT")
+    kinds = sorted(f.message.split("(")[1].split(":")[0]
+                   for f in findings)
+    assert kinds == ["set-order", "wall-clock"]
+
+
+def test_aliased_imports(tmp_path):
+    write_tree(tmp_path, {
+        "encoding/canonical.py": CANONICAL_SRC,
+        "bft/aliased.py": """\
+            import time as clock
+
+            from repro.encoding.canonical import canonical as canon
+
+
+            def build():
+                return canon(clock.time())
+            """,
+    })
+    findings = of_rule(run_deep([tmp_path], DEEP_EVERYWHERE),
+                       "DEEP-TAINT")
+    assert len(findings) == 1
+    assert "time.time()" in findings[0].message
+
+
+def test_mutual_recursion_reaches_fixpoint(tmp_path):
+    write_tree(tmp_path, {
+        "encoding/canonical.py": CANONICAL_SRC,
+        "bft/mutual.py": """\
+            import time
+
+            from repro.encoding.canonical import canonical
+
+
+            def ping(n):
+                if n:
+                    return pong(n - 1)
+                return time.time()
+
+
+            def pong(n):
+                return ping(n)
+
+
+            def build():
+                return canonical(ping(3))
+            """,
+    })
+    findings = of_rule(run_deep([tmp_path], DEEP_EVERYWHERE),
+                       "DEEP-TAINT")
+    assert len(findings) == 1
+
+
+def test_suppression_silences_deep_finding(tmp_path):
+    write_tree(tmp_path, {
+        "encoding/canonical.py": CANONICAL_SRC,
+        "bft/build.py": """\
+            import time
+
+            from repro.encoding.canonical import canonical
+
+
+            def build():
+                # protolint: disable=DEEP-TAINT ts is display-only here
+                ts = time.time()
+                return canonical(ts)
+            """,
+    })
+    findings = run_deep([tmp_path], DEEP_EVERYWHERE)
+    assert not of_rule(findings, "DEEP-TAINT")
+
+
+# -- report schema v2 ----------------------------------------------------------
+
+def test_report_schema_accepts_chain():
+    finding = Finding("bft/a.py", 3, 0, "DEEP-TAINT", "taint msg",
+                      chain=("source: x at bft/a.py:3",
+                             "sink: canonical() at bft/b.py:9"))
+    diff = baselinelib.apply([finding], [])
+    doc = reportlib.build(diff, DEEP_RULE_IDS, ["src/repro"])
+    assert doc["findings"][0]["chain"] == list(finding.chain)
+    rehydrated = reportlib.finding_from_dict(doc["findings"][0])
+    assert rehydrated == finding
+
+
+def test_report_schema_rejects_bad_chain():
+    finding = Finding("bft/a.py", 3, 0, "DEEP-TAINT", "taint msg")
+    diff = baselinelib.apply([finding], [])
+    doc = reportlib.build(diff, DEEP_RULE_IDS, ["src/repro"])
+    doc["findings"][0]["chain"] = "not-a-list"
+    with pytest.raises(ValueError):
+        reportlib.validate(doc)
+
+
+# -- CLI -----------------------------------------------------------------------
+
+def test_cli_deep_flag(tmp_path, capsys):
+    out = tmp_path / "report.json"
+    code = main([str(FIXTURES / "taint_clock_bad"), "--deep",
+                 "--out", str(out)])
+    assert code == 1
+    report = json.loads(out.read_text())
+    reportlib.validate(report)
+    rules = {doc["rule"] for doc in report["findings"]}
+    assert rules == {"DEEP-TAINT"}
+    assert report["findings"][0]["chain"]
+    assert set(DEEP_RULE_IDS) <= set(report["rules"])
+    text = capsys.readouterr().out
+    assert "DEEP-TAINT" in text and "source: time.time()" in text
+
+
+def test_cli_without_deep_skips_deep_rules(tmp_path):
+    out = tmp_path / "report.json"
+    code = main([str(FIXTURES / "taint_clock_bad"), "--out", str(out)])
+    assert code == 0
+    report = json.loads(out.read_text())
+    assert not set(DEEP_RULE_IDS) & set(report["rules"])
+
+
+def test_cli_prune_baseline_is_idempotent(tmp_path, capsys):
+    path = tmp_path / "baseline.json"
+    baselinelib.dump(["DEEP-TAINT:bft/gone.py:no longer fires"], path)
+    args = [str(FIXTURES / "taint_ok"), "--deep",
+            "--baseline", str(path), "--prune-baseline"]
+    assert main(args) == 0
+    assert "pruned stale baseline entry" in capsys.readouterr().out
+    assert baselinelib.load(path) == []
+    before = path.read_text()
+    assert main(args) == 0
+    assert "pruned" not in capsys.readouterr().out
+    assert path.read_text() == before
+
+
+def _git(repo, *argv):
+    subprocess.run(["git", "-C", str(repo), *argv], check=True,
+                   capture_output=True)
+
+
+def test_cli_changed_since(tmp_path, monkeypatch):
+    """--changed-since limits per-file rules to changed files, but the
+    deep passes stay whole-program."""
+    repo = tmp_path / "work"
+    pkg = repo / "repro" / "bft"
+    pkg.mkdir(parents=True)
+    (pkg / "stable.py").write_text(textwrap.dedent("""\
+        import time
+
+
+        def old_violation():
+            return time.time()
+
+
+        def quorum(votes):
+            return len(votes) >= 3
+        """), encoding="utf-8")
+    (pkg / "touched.py").write_text("def touched():\n    return 1\n",
+                                    encoding="utf-8")
+    _git(repo, "init", "-q")
+    _git(repo, "add", ".")
+    _git(repo, "-c", "user.email=t@t", "-c", "user.name=t",
+         "commit", "-q", "-m", "seed")
+    (pkg / "touched.py").write_text(textwrap.dedent("""\
+        import time
+
+
+        def touched():
+            return time.time()
+        """), encoding="utf-8")
+    monkeypatch.chdir(repo)
+
+    out = repo / "report.json"
+    code = main([str(repo / "repro"), "--changed-since", "HEAD",
+                 "--out", str(out)])
+    assert code == 1
+    paths = {d["path"] for d in json.loads(out.read_text())["findings"]}
+    # stable.py's DET-CLOCK violation is filtered (unchanged)...
+    assert paths == {"bft/touched.py"}
+
+    code = main([str(repo / "repro"), "--changed-since", "HEAD",
+                 "--deep", "--out", str(out)])
+    assert code == 1
+    report = json.loads(out.read_text())
+    deep_paths = {d["path"] for d in report["findings"]
+                  if d["rule"].startswith("DEEP-")}
+    # ...but the whole-program quorum check still sees it.
+    assert "bft/stable.py" in deep_paths
+
+
+def test_cli_changed_since_bad_ref(tmp_path, monkeypatch, capsys):
+    repo = tmp_path / "work"
+    (repo / "repro").mkdir(parents=True)
+    _git(repo, "init", "-q")
+    monkeypatch.chdir(repo)
+    code = main([str(repo / "repro"), "--changed-since",
+                 "no-such-ref"])
+    assert code == 2
+    assert "--changed-since" in capsys.readouterr().err

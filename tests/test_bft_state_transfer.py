@@ -1,5 +1,7 @@
 """State transfer: catching up out-of-date replicas, repairing corruption."""
 
+from repro.bft.costs import CostModel
+from repro.bft.messages import FetchCert, FetchTable
 from repro.bft.statemachine import InMemoryStateManager
 from tests.conftest import make_kv_cluster
 
@@ -137,3 +139,27 @@ def test_meta_walk_prunes_matching_partitions():
     assert lagger.state.values == cluster.replicas[0].state.values
     # Only one object changed; at most a handful of fetches happened.
     assert lagger.transfer.objects_fetched_total <= 2
+
+
+def test_serving_cert_and_table_charges_cpu():
+    """A donor pays simulated CPU for every transfer reply it serves —
+    including the certificate and reply-cache paths, so a replica
+    bombarded with fetches cannot do free work (regression: these two
+    handlers used to skip ``charge``, found by DEEP-COST)."""
+    cluster = make_kv_cluster(checkpoint_interval=4)
+    client = cluster.add_client("client0")
+    run_writes(cluster, client, 8)
+    cluster.run(1.0)
+    donor = cluster.replicas[0]
+    assert donor.stable_cert, "need a stable checkpoint to serve"
+    seq = donor.last_stable
+    assert seq in donor.table_checkpoints
+    # The default test cost model is free; give digests a price so an
+    # uncharged serving path shows up as zero CPU.
+    donor.costs = CostModel(digest_fixed=1e-4, digest_per_byte=1e-7)
+    before = donor.busy_until
+    donor.transfer.on_fetch_cert("replica1", FetchCert("replica1", 1))
+    after_cert = donor.busy_until
+    assert after_cert > before
+    donor.transfer.on_fetch_table("replica1", FetchTable("replica1", seq))
+    assert donor.busy_until > after_cert

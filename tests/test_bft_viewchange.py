@@ -137,3 +137,24 @@ def test_view_change_timer_does_not_fire_when_idle():
     client.call(put(0, b"x"))
     cluster.run(5.0)
     assert all(r.view == 0 for r in cluster.replicas)
+
+
+def test_join_rule_threshold_is_weak_quorum():
+    """The liveness rule drags a replica into a view change only once a
+    weak quorum (f+1, guaranteeing one correct proposer) wants the view
+    — a single view-change message must not move it (regression for the
+    join threshold, now spelled ``config.weak_quorum``)."""
+    cluster = make_kv_cluster(view_change_timeout=60.0)
+    bystander = cluster.replicas[3]
+    assert cluster.config.weak_quorum == 2
+    # One replica alone asks for view 1: below the weak quorum.
+    cluster.replicas[1].view_changes.start(1)
+    cluster.run(1.0)
+    assert not bystander.view_changes.active
+    assert bystander.view == 0
+    # A second request reaches f+1 = weak quorum: the bystander joins
+    # (and the view change then completes) without its own 60 s timer
+    # ever firing.
+    cluster.replicas[2].view_changes.start(1)
+    cluster.run(1.0)
+    assert bystander.view == 1
